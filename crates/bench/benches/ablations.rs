@@ -1,0 +1,175 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5.
+//!
+//! Run with `cargo bench -p relock-bench --bench ablations`.
+//!
+//! - **A1** algebraic-first vs learning-only decryption (MLP);
+//! - **A2** minimum-norm vs perturbed pre-images (algebraic success rate);
+//! - **A3** validation probe budget vs wrong-key detection rate;
+//! - **A4** confidence-ordered vs random-order error correction.
+
+use relock_attack::{
+    correction_candidates, key_bit_inference, key_vector_validation, Decryptor, ValidationTarget,
+};
+use relock_bench::{attack_config, prepare, Arch, Scale};
+use relock_locking::CountingOracle;
+use relock_tensor::rng::Prng;
+use std::time::Instant;
+
+fn a1_algebraic_vs_learning() {
+    println!("A1: algebraic-first vs learning-only (MLP, 32-bit key)");
+    let p = prepare(Arch::Mlp, 32, Scale::Fast, 42);
+    for disable in [false, true] {
+        let mut cfg = attack_config(Arch::Mlp, Scale::Fast);
+        cfg.disable_algebraic = disable;
+        let oracle = CountingOracle::new(&p.model);
+        let start = Instant::now();
+        let report = Decryptor::new(cfg)
+            .run(p.model.white_box(), &oracle, &mut Prng::seed_from_u64(7))
+            .expect("attack completes");
+        println!(
+            "  algebraic {}: fidelity {:.3}  time {:>6.2}s  queries {:>6}",
+            if disable { "OFF" } else { "ON " },
+            report.fidelity(p.model.true_key()),
+            start.elapsed().as_secs_f64(),
+            report.queries
+        );
+    }
+}
+
+fn a2_preimage_perturbation() {
+    println!("\nA2: minimum-norm vs perturbed pre-images (MLP, 32-bit key)");
+    let p = prepare(Arch::Mlp, 32, Scale::Fast, 43);
+    let g = p.model.white_box();
+    for perturb in [0.0, 0.5, 2.0] {
+        let mut cfg = attack_config(Arch::Mlp, Scale::Fast);
+        cfg.preimage_perturbation = perturb;
+        let oracle = CountingOracle::new(&p.model);
+        let ka = p.model.true_key().to_assignment();
+        let mut rng = Prng::seed_from_u64(11);
+        let mut resolved = 0usize;
+        let mut correct = 0usize;
+        let sites = g.lock_sites();
+        let start = Instant::now();
+        for site in &sites {
+            if let Some(bit) = key_bit_inference(g, &ka, site, &oracle, &cfg, &mut rng) {
+                resolved += 1;
+                if bit == p.model.true_key().bit(site.slot.index()) {
+                    correct += 1;
+                }
+            }
+        }
+        println!(
+            "  perturbation {perturb:>4.1}: resolved {resolved:>2}/{} (correct {correct}) in {:>5.2}s",
+            sites.len(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+}
+
+fn a3_validation_budget() {
+    println!("\nA3: validation probe budget vs wrong-key detection (LeNet, 16-bit key)");
+    let p = prepare(Arch::Lenet, 16, Scale::Fast, 44);
+    let g = p.model.white_box();
+    let sites = g.lock_sites();
+    let l1 = sites[0].keyed_node;
+    let next: Vec<_> = sites.iter().filter(|s| s.keyed_node != l1).collect();
+    let l2 = next[0].keyed_node;
+    let layout = next[0].layout;
+    let units: Vec<(usize, Option<relock_graph::KeySlot>)> = (0..layout.n_units)
+        .map(|u| {
+            (
+                u,
+                next.iter()
+                    .find(|s| s.keyed_node == l2 && s.unit == u)
+                    .map(|s| s.slot),
+            )
+        })
+        .collect();
+    let t = ValidationTarget {
+        surface_node: l2,
+        layout,
+        units,
+    };
+    for budget in [2usize, 4, 8, 12] {
+        let mut cfg = attack_config(Arch::Lenet, Scale::Fast);
+        cfg.validation_neurons = budget;
+        let oracle = CountingOracle::new(&p.model);
+        let mut rng = Prng::seed_from_u64(13);
+        let mut true_pass = 0usize;
+        let mut wrong_fail = 0usize;
+        let trials = 4usize;
+        for trial in 0..trials {
+            if key_vector_validation(
+                g,
+                &p.model.true_key().to_assignment(),
+                Some(&t),
+                &oracle,
+                &cfg,
+                &mut rng,
+            ) {
+                true_pass += 1;
+            }
+            let mut wrong = p.model.true_key().clone();
+            wrong.flip_bit(sites[trial % 4].slot.index());
+            if !key_vector_validation(g, &wrong.to_assignment(), Some(&t), &oracle, &cfg, &mut rng)
+            {
+                wrong_fail += 1;
+            }
+        }
+        println!(
+            "  budget {budget:>2}: true-key pass {true_pass}/{trials}, wrong-key detect {wrong_fail}/{trials}"
+        );
+    }
+}
+
+fn a4_correction_order() {
+    println!("\nA4: confidence-ordered vs random-order error correction");
+    // Simulated layer: 16 bits, 2 wrong; learning leaves the wrong bits at
+    // low confidence. Count candidates tried before the true flip set.
+    let mut rng = Prng::seed_from_u64(17);
+    let trials = 200;
+    let mut ordered_total = 0usize;
+    let mut random_total = 0usize;
+    for _ in 0..trials {
+        let n = 16usize;
+        let wrong: Vec<usize> = rng.choose_indices(n, 2);
+        let mut conf = vec![0.0f64; n];
+        for (i, c) in conf.iter_mut().enumerate() {
+            *c = if wrong.contains(&i) {
+                rng.uniform_in(0.05, 0.45) // learning is unsure about bad bits
+            } else {
+                rng.uniform_in(0.4, 1.0)
+            };
+        }
+        let mut sorted_wrong = wrong.clone();
+        sorted_wrong.sort_unstable();
+        let position = |cands: &[Vec<usize>]| {
+            cands
+                .iter()
+                .position(|c| {
+                    let mut s = c.clone();
+                    s.sort_unstable();
+                    s == sorted_wrong
+                })
+                .map(|p| p + 1)
+                .unwrap_or(cands.len() + 1)
+        };
+        let ordered = correction_candidates(&conf, 16, 2, 1000);
+        ordered_total += position(&ordered);
+        let uniform = vec![0.5f64; n];
+        let random = correction_candidates(&uniform, 16, 2, 1000);
+        random_total += position(&random);
+    }
+    println!(
+        "  mean validations to repair 2 errors: confidence-ordered {:.1}, unordered {:.1}",
+        ordered_total as f64 / trials as f64,
+        random_total as f64 / trials as f64
+    );
+}
+
+fn main() {
+    a1_algebraic_vs_learning();
+    a2_preimage_perturbation();
+    a3_validation_budget();
+    a4_correction_order();
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Figure 3 (per-procedure time breakdown of the
+//! decryption attack) at the configured scale.
+//!
+//! Run with `cargo bench -p relock-bench --bench fig3`.
+
+use relock_bench::{fig3_csv, print_fig3, run_grid, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = run_grid(scale, false);
+    print_fig3(&rows);
+    if let Ok(path) = std::env::var("RELOCK_CSV") {
+        std::fs::write(&path, fig3_csv(&rows)).expect("write csv");
+        eprintln!("csv written to {path}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the attack's primitive operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relock_attack::{search_critical_point, AttackConfig};
+use relock_locking::{LockSpec, LockedModel};
+use relock_nn::{build_mlp, MlpSpec};
+use relock_tensor::linalg::preimage;
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+use std::time::Duration;
+
+fn victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(500);
+    build_mlp(
+        &MlpSpec {
+            input: 64,
+            hidden: vec![48, 24],
+            classes: 10,
+        },
+        LockSpec::evenly(16),
+        &mut rng,
+    )
+    .expect("spec fits")
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let m = victim();
+    let g = m.white_box();
+    let keys = m.true_key().to_assignment();
+    let mut rng = Prng::seed_from_u64(501);
+    let x = rng.normal_tensor([32, 64]);
+    c.bench_function("forward_batch32_mlp", |b| {
+        b.iter(|| std::hint::black_box(g.logits_batch(&x, &keys)))
+    });
+}
+
+fn bench_critical_point(c: &mut Criterion) {
+    let m = victim();
+    let g = m.white_box();
+    let keys = m.true_key().to_assignment();
+    let cfg = AttackConfig::fast();
+    let site = g.lock_sites()[0];
+    let mut rng = Prng::seed_from_u64(502);
+    c.bench_function("search_critical_point_mlp", |b| {
+        b.iter(|| {
+            std::hint::black_box(search_critical_point(
+                g,
+                &keys,
+                site.pre_node,
+                site.scalar_index(),
+                &cfg,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_jacobian(c: &mut Criterion) {
+    let m = victim();
+    let g = m.white_box();
+    let keys = m.true_key().to_assignment();
+    let mut rng = Prng::seed_from_u64(503);
+    let x = rng.normal_tensor([64]);
+    let acts = g.forward(&x, &keys);
+    // Second hidden layer's pre-activation node.
+    let site = *g.lock_sites().last().expect("locked");
+    c.bench_function("input_jacobian_layer2_mlp", |b| {
+        b.iter(|| std::hint::black_box(g.input_jacobian(&acts, site.pre_node, &keys)))
+    });
+}
+
+fn bench_preimage(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(504);
+    let a = rng.normal_tensor([24, 64]);
+    let e = Tensor::basis(24, 7);
+    c.bench_function("preimage_24x64", |b| {
+        b.iter(|| std::hint::black_box(preimage(&a, &e, 1e-8)))
+    });
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let m = victim();
+    let g = m.white_box();
+    let keys = m.true_key().to_assignment();
+    let mut rng = Prng::seed_from_u64(505);
+    let x = rng.normal_tensor([16, 64]);
+    let acts = g.forward(&x, &keys);
+    let grad = Tensor::ones([16, 10]);
+    c.bench_function("backward_batch16_mlp", |b| {
+        b.iter(|| std::hint::black_box(g.backward(&acts, &grad, &keys)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_forward, bench_critical_point, bench_jacobian, bench_preimage, bench_backward
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Quick per-architecture smoke run of the decryption attack, with
+//! ground-truth per-layer diagnostics.
+use relock_attack::Decryptor;
+use relock_bench::{attack_config, prepare, Arch, Scale};
+use relock_locking::CountingOracle;
+use relock_tensor::rng::Prng;
+use std::time::Instant;
+
+fn main() {
+    let arch = match std::env::args().nth(1).as_deref() {
+        Some("lenet") => Arch::Lenet,
+        Some("resnet") => Arch::Resnet,
+        Some("vit") => Arch::Vit,
+        _ => Arch::Mlp,
+    };
+    let bits: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let prep_seed: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let attack_seed: u64 = std::env::args()
+        .nth(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(43);
+    let t0 = Instant::now();
+    let p = prepare(arch, bits, Scale::Fast, prep_seed);
+    println!(
+        "{}-{}: trained acc={:.3} in {:.1}s",
+        arch.name(),
+        bits,
+        p.original_accuracy,
+        t0.elapsed().as_secs_f64()
+    );
+    let oracle = CountingOracle::new(&p.model);
+    let t1 = Instant::now();
+    let report = Decryptor::new(attack_config(arch, Scale::Fast))
+        .run(
+            p.model.white_box(),
+            &oracle,
+            &mut Prng::seed_from_u64(attack_seed),
+        )
+        .unwrap();
+    println!(
+        "decrypt: fid={:.3} queries={} time={:.1}s",
+        report.fidelity(p.model.true_key()),
+        report.queries,
+        t1.elapsed().as_secs_f64()
+    );
+    // Per-layer ground truth.
+    let sites = p.model.white_box().lock_sites();
+    for lr in &report.layers {
+        let layer_sites: Vec<_> = sites
+            .iter()
+            .filter(|s| s.keyed_node == lr.keyed_node)
+            .collect();
+        let wrong: Vec<String> = layer_sites
+            .iter()
+            .filter(|s| report.key.bit(s.slot.index()) != p.model.true_key().bit(s.slot.index()))
+            .map(|s| s.slot.to_string())
+            .collect();
+        println!(
+            "layer {}: bits={} algebraic={} learned={} val_rounds={} corrected={} validated={} wrong={:?}",
+            lr.keyed_node, lr.bits, lr.algebraic, lr.learned, lr.validation_rounds, lr.corrected, lr.validated, wrong
+        );
+    }
+    println!("{}", report.timing);
+}

@@ -1,0 +1,91 @@
+//! Sanity: per-layer validation under the fully-true key, and single-flip detection.
+use relock_attack::{key_vector_validation, AttackConfig, ValidationTarget};
+use relock_bench::{attack_config, prepare, Arch, Scale};
+use relock_locking::CountingOracle;
+use relock_tensor::rng::Prng;
+
+fn main() {
+    let arch = match std::env::args().nth(1).as_deref() {
+        Some("lenet") => Arch::Lenet,
+        Some("resnet") => Arch::Resnet,
+        Some("vit") => Arch::Vit,
+        _ => Arch::Mlp,
+    };
+    let bits: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let seed: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let p = prepare(arch, bits, Scale::Fast, seed);
+    let g = p.model.white_box();
+    let oracle = CountingOracle::new(&p.model);
+    let cfg: AttackConfig = attack_config(arch, Scale::Fast);
+    let sites = g.lock_sites();
+    let mut layers: Vec<(relock_graph::NodeId, Vec<relock_graph::LockSite>)> = Vec::new();
+    for s in sites.clone() {
+        match layers.last_mut() {
+            Some((n, v)) if *n == s.keyed_node => v.push(s),
+            _ => layers.push((s.keyed_node, vec![s])),
+        }
+    }
+    for li in 0..layers.len().saturating_sub(1) {
+        let next = &layers[li + 1].1;
+        let layout = next[0].layout;
+        // surface: follow keyed through Add
+        let consumers = g.consumers();
+        let mut surface = next[0].keyed_node;
+        for _ in 0..3 {
+            match consumers[surface.index()].iter().copied().find(|c| {
+                matches!(
+                    g.node(*c).op,
+                    relock_graph::Op::Add | relock_graph::Op::Relu
+                )
+            }) {
+                Some(c) if matches!(g.node(c).op, relock_graph::Op::Add) => surface = c,
+                _ => break,
+            }
+        }
+        let units: Vec<_> = (0..layout.n_units)
+            .map(|u| (u, next.iter().find(|s| s.unit == u).map(|s| s.slot)))
+            .collect();
+        let t = ValidationTarget {
+            surface_node: surface,
+            layout,
+            units,
+        };
+        let mut rng = Prng::seed_from_u64(5000 + li as u64);
+        let ok_true = key_vector_validation(
+            g,
+            &p.model.true_key().to_assignment(),
+            Some(&t),
+            &oracle,
+            &cfg,
+            &mut rng,
+        );
+        let s0 = layers[li].1[0].slot;
+        let mut wrong = p.model.true_key().clone();
+        wrong.flip_bit(s0.index());
+        let ok_flip =
+            key_vector_validation(g, &wrong.to_assignment(), Some(&t), &oracle, &cfg, &mut rng);
+        // Also a 3-flip candidate within this layer.
+        let mut wrong3 = p.model.true_key().clone();
+        for s in layers[li].1.iter().take(3) {
+            wrong3.flip_bit(s.slot.index());
+        }
+        let ok_flip3 = key_vector_validation(
+            g,
+            &wrong3.to_assignment(),
+            Some(&t),
+            &oracle,
+            &cfg,
+            &mut rng,
+        );
+        println!(
+            "layer {} (surface {}): val(true)={} val(flip {})={} val(3flip)={}",
+            layers[li].0, surface, ok_true, s0, ok_flip, ok_flip3
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Error correction (paper §3.7/§3.8).
+//!
+//! When a layer's key vector fails validation, the learning attack's
+//! *confidence levels* (`|multiplier|`) guide a bounded search: bits are
+//! flipped in ascending confidence order, first one at a time (Hamming
+//! distance 1), then in pairs, and so on — each candidate re-validated —
+//! until a key vector passes.
+
+/// Enumerates candidate flip sets in the paper's order: increasing Hamming
+/// distance; within a distance, increasing total confidence of the flipped
+/// bits. Only the `window` least-confident bits participate, and at most
+/// `max_per_hd` candidates are emitted per distance.
+///
+/// Returns index sets into `confidences`.
+///
+/// ```
+/// let cands = relock_attack::correction_candidates(&[0.9, 0.1, 0.5], 3, 2, 10);
+/// assert_eq!(cands[0], vec![1]);        // least confident bit first
+/// assert_eq!(cands[1], vec![2]);
+/// assert_eq!(cands[2], vec![0]);
+/// assert_eq!(cands[3], vec![1, 2]);     // then pairs by confidence sum
+/// ```
+pub fn correction_candidates(
+    confidences: &[f64],
+    window: usize,
+    max_hamming: usize,
+    max_per_hd: usize,
+) -> Vec<Vec<usize>> {
+    let n = confidences.len();
+    // The `window` least-confident bit indices, ascending by confidence.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        confidences[a]
+            .partial_cmp(&confidences[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(window.min(n));
+
+    let mut out = Vec::new();
+    for hd in 1..=max_hamming.min(order.len()) {
+        let mut combos: Vec<Vec<usize>> = Vec::new();
+        combinations(&order, hd, &mut Vec::new(), &mut combos);
+        combos.sort_by(|a, b| {
+            let sa: f64 = a.iter().map(|&i| confidences[i]).sum();
+            let sb: f64 = b.iter().map(|&i| confidences[i]).sum();
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        combos.truncate(max_per_hd);
+        out.extend(combos);
+    }
+    out
+}
+
+fn combinations(pool: &[usize], k: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if k == 0 {
+        out.push(prefix.clone());
+        return;
+    }
+    if pool.len() < k {
+        return;
+    }
+    // Include pool[0] or not.
+    prefix.push(pool[0]);
+    combinations(&pool[1..], k - 1, prefix, out);
+    prefix.pop();
+    combinations(&pool[1..], k, prefix, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hd1_candidates_in_confidence_order() {
+        let c = [0.8, 0.2, 0.4, 0.99];
+        let cands = correction_candidates(&c, 4, 1, 10);
+        assert_eq!(cands, vec![vec![1], vec![2], vec![0], vec![3]]);
+    }
+
+    #[test]
+    fn hd2_sorted_by_confidence_sum() {
+        let c = [0.9, 0.1, 0.2];
+        let cands = correction_candidates(&c, 3, 2, 100);
+        // hd=1: [1], [2], [0]; hd=2 best pair is {1,2}.
+        assert_eq!(cands[3], vec![1, 2]);
+        assert_eq!(cands.len(), 3 + 3);
+    }
+
+    #[test]
+    fn caps_apply() {
+        let c = [0.5; 10];
+        let cands = correction_candidates(&c, 6, 3, 7);
+        // ≤ 7 per Hamming distance, window of 6 bits.
+        let hd1 = cands.iter().filter(|v| v.len() == 1).count();
+        let hd2 = cands.iter().filter(|v| v.len() == 2).count();
+        let hd3 = cands.iter().filter(|v| v.len() == 3).count();
+        assert_eq!(hd1, 6);
+        assert_eq!(hd2, 7);
+        assert_eq!(hd3, 7);
+        assert!(cands.iter().all(|v| v.iter().all(|&i| i < 10)));
+    }
+
+    #[test]
+    fn no_duplicate_candidates() {
+        let c = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let cands = correction_candidates(&c, 5, 3, 1000);
+        let set: std::collections::HashSet<Vec<usize>> = cands
+            .iter()
+            .map(|v| {
+                let mut s = v.clone();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        assert_eq!(set.len(), cands.len());
+    }
+
+    #[test]
+    fn empty_input_yields_no_candidates() {
+        assert!(correction_candidates(&[], 4, 2, 10).is_empty());
+    }
+}

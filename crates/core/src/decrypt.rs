@@ -1,0 +1,583 @@
+//! The DNN decryption algorithm (paper §3.8, Algorithm 2).
+//!
+//! Layer by layer (in topological order), the decryptor:
+//!
+//! 1. attempts the cheap algebraic [`key_bit_inference`] on every protected
+//!    unit (§3.3);
+//! 2. runs the [`learning_attack`] on the ⊥ remainder (§3.6) — jointly over
+//!    all not-yet-committed bits, warm-started across layers, committing
+//!    only the current layer;
+//! 3. validates the layer's key vector (§3.7) and, on failure, searches
+//!    confidence-ordered bit flips until validation passes (§3.8's
+//!    `error_correction`).
+//!
+//! Theorem 4's argument carries over: each correction round eliminates one
+//! assignment, and a committed layer has passed the rigorous validation.
+
+use crate::config::AttackConfig;
+use crate::correct::correction_candidates;
+use crate::error::AttackError;
+use crate::infer::key_bit_inference;
+use crate::learning::{learning_attack, LearnedMultipliers};
+use crate::telemetry::{Procedure, TimingBreakdown};
+use crate::validate::{key_vector_validation_verdict, ValidationTarget, ValidationVerdict};
+use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId};
+use relock_locking::{Key, Oracle};
+use relock_tensor::rng::Prng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-layer attack statistics.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// The keyed node implementing this layer's flipping units.
+    pub keyed_node: NodeId,
+    /// Number of key bits in the layer.
+    pub bits: usize,
+    /// Bits resolved by the algebraic Algorithm 1.
+    pub algebraic: usize,
+    /// Bits resolved by the learning attack.
+    pub learned: usize,
+    /// Validation rounds run (1 = passed immediately).
+    pub validation_rounds: usize,
+    /// Bits repaired by error correction.
+    pub corrected: usize,
+    /// Whether the committed key vector passed validation. Always `true`
+    /// unless [`AttackConfig::continue_on_failure`] let the run proceed
+    /// past an exhausted correction budget.
+    pub validated: bool,
+}
+
+/// The outcome of a full decryption run.
+#[derive(Debug, Clone)]
+pub struct DecryptionReport {
+    /// The recovered key.
+    pub key: Key,
+    /// Wall-clock breakdown over the four procedures (Figure 3).
+    pub timing: TimingBreakdown,
+    /// Total oracle queries spent (Table 1's query-complexity column).
+    pub queries: u64,
+    /// Per-layer statistics in processing order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl DecryptionReport {
+    /// Fraction of key bits matching the reference key (Table 1's fidelity
+    /// metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key lengths differ.
+    pub fn fidelity(&self, reference: &Key) -> f64 {
+        self.key.fidelity(reference)
+    }
+
+    /// Whether every layer's key vector passed validation.
+    pub fn fully_validated(&self) -> bool {
+        self.layers.iter().all(|l| l.validated)
+    }
+}
+
+/// The DNN decryption attack (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct Decryptor {
+    cfg: AttackConfig,
+}
+
+impl Decryptor {
+    /// Creates a decryptor with the given configuration.
+    pub fn new(cfg: AttackConfig) -> Self {
+        Decryptor { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.cfg
+    }
+
+    /// Runs the full attack against `oracle` using the public `white_box`
+    /// network description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::OracleMismatch`] on dimension mismatch and
+    /// [`AttackError::CorrectionExhausted`] if some layer cannot be made to
+    /// pass validation within the configured Hamming budget.
+    pub fn run(
+        &self,
+        white_box: &Graph,
+        oracle: &dyn Oracle,
+        rng: &mut Prng,
+    ) -> Result<DecryptionReport, AttackError> {
+        let cfg = &self.cfg;
+        if oracle.input_dim() != white_box.input_size() {
+            return Err(AttackError::OracleMismatch {
+                expect_in: white_box.input_size(),
+                got_in: oracle.input_dim(),
+            });
+        }
+        let start_queries = oracle.query_count();
+        let mut timing = TimingBreakdown::new();
+        let mut layers_out = Vec::new();
+
+        // Group sites by keyed node; NodeId order is topological.
+        let sites = white_box.lock_sites();
+        let mut layers: Vec<(NodeId, Vec<LockSite>)> = Vec::new();
+        for site in sites {
+            match layers.last_mut() {
+                Some((node, v)) if *node == site.keyed_node => v.push(site),
+                _ => layers.push((site.keyed_node, vec![site])),
+            }
+        }
+
+        let n_slots = white_box.key_slot_count();
+        let mut ka = KeyAssignment::all_zero_bits(n_slots);
+        let mut committed: HashMap<KeySlot, bool> = HashMap::new();
+        let mut warm = LearnedMultipliers::new();
+
+        for li in 0..layers.len() {
+            let (keyed_node, layer_sites) = &layers[li];
+            let mut report = LayerReport {
+                keyed_node: *keyed_node,
+                bits: layer_sites.len(),
+                algebraic: 0,
+                learned: 0,
+                validation_rounds: 0,
+                corrected: 0,
+                validated: true,
+            };
+
+            // ---- Step 1: algebraic inference per site (Algorithm 1). ----
+            let inferred: Vec<(KeySlot, Option<bool>)> = if cfg.disable_algebraic {
+                layer_sites.iter().map(|s| (s.slot, None)).collect()
+            } else {
+                timing.time(Procedure::KeyBitInference, || {
+                    self.infer_layer(white_box, &ka, layer_sites, oracle, rng)
+                })
+            };
+            for (slot, bit) in &inferred {
+                if let Some(bit) = bit {
+                    ka.set_bit(*slot, *bit);
+                    committed.insert(*slot, *bit);
+                    report.algebraic += 1;
+                }
+            }
+
+            // ---- Step 2: learning attack on the remainder (§3.6). ----
+            // Free bits: this layer's ⊥ plus everything in later layers —
+            // the loss is only meaningful when later bits may co-adapt.
+            let unresolved: Vec<KeySlot> = inferred
+                .iter()
+                .filter(|(_, b)| b.is_none())
+                .map(|(s, _)| *s)
+                .collect();
+            let mut confidences: HashMap<KeySlot, f64> = inferred
+                .iter()
+                .filter(|(_, b)| b.is_some())
+                .map(|(s, _)| (*s, 1.0))
+                .collect();
+            if !unresolved.is_empty() {
+                let mut free: Vec<KeySlot> = unresolved.clone();
+                for (_, later_sites) in &layers[li + 1..] {
+                    free.extend(later_sites.iter().map(|s| s.slot));
+                }
+                let learned = timing.time(Procedure::LearningAttack, || {
+                    learning_attack(
+                        white_box,
+                        oracle,
+                        &committed,
+                        &free,
+                        &warm,
+                        &cfg.learning,
+                        cfg.input_scale,
+                        rng,
+                    )
+                });
+                for (&slot, &m) in &learned {
+                    warm.insert(slot, m);
+                    // Provisionally assign *later-layer* bits too: the
+                    // validation step's white-box observability predictions
+                    // are far more accurate with the learning attack's
+                    // estimates than with blanket zeros. These bits are
+                    // overwritten when their own layers commit.
+                    ka.set_bit(slot, m < 0.0);
+                }
+                for slot in &unresolved {
+                    let m = learned.get(slot).copied().unwrap_or(0.0);
+                    ka.set_bit(*slot, m < 0.0);
+                    confidences.insert(*slot, m.abs());
+                    report.learned += 1;
+                }
+            }
+
+            // ---- Step 3: validation and error correction (§3.7/§3.8). ----
+            let target = layers
+                .get(li + 1)
+                .map(|(_, next_sites)| self.validation_target(white_box, next_sites, rng));
+            report.validation_rounds = 1;
+            let mut ok = !matches!(
+                timing.time(Procedure::KeyVectorValidation, || {
+                    key_vector_validation_verdict(white_box, &ka, target.as_ref(), oracle, cfg, rng)
+                }),
+                ValidationVerdict::Fail
+            );
+            if !ok && !unresolved.is_empty() {
+                // Cheap first remedy: one fresh learning round (new oracle
+                // samples, cold-started θ) often repairs several bits at
+                // once, where the Hamming search below pays one validation
+                // per candidate.
+                let relearned = timing.time(Procedure::LearningAttack, || {
+                    let mut free: Vec<KeySlot> = unresolved.clone();
+                    for (_, later_sites) in &layers[li + 1..] {
+                        free.extend(later_sites.iter().map(|s| s.slot));
+                    }
+                    learning_attack(
+                        white_box,
+                        oracle,
+                        &committed,
+                        &free,
+                        &LearnedMultipliers::new(),
+                        &cfg.learning,
+                        cfg.input_scale,
+                        rng,
+                    )
+                });
+                let before: Vec<bool> = ka.to_bits();
+                for slot in &unresolved {
+                    let m = relearned.get(slot).copied().unwrap_or(0.0);
+                    ka.set_bit(*slot, m < 0.0);
+                    confidences.insert(*slot, m.abs());
+                }
+                for (&slot, &m) in &relearned {
+                    warm.insert(slot, m);
+                    ka.set_bit(slot, m < 0.0);
+                }
+                report.validation_rounds += 1;
+                ok = !matches!(
+                    timing.time(Procedure::KeyVectorValidation, || {
+                        key_vector_validation_verdict(
+                            white_box,
+                            &ka,
+                            target.as_ref(),
+                            oracle,
+                            cfg,
+                            rng,
+                        )
+                    }),
+                    ValidationVerdict::Fail
+                );
+                if !ok {
+                    // Keep whichever candidate the correction search should
+                    // start from: the re-learned one (fresher confidences).
+                    let _ = before;
+                }
+            }
+            if !ok {
+                let corr_start = Instant::now();
+                let layer_slots: Vec<KeySlot> = layer_sites.iter().map(|s| s.slot).collect();
+                let conf_vec: Vec<f64> = layer_slots
+                    .iter()
+                    .map(|s| confidences.get(s).copied().unwrap_or(0.0))
+                    .collect();
+                // Small layers are searched exhaustively (the paper's
+                // Theorem 4 termination argument: at most 2^|K_i| rounds);
+                // larger ones within the configured Hamming budget.
+                let n_bits = layer_slots.len();
+                let effective_hamming = if n_bits <= 8 { n_bits } else { cfg.max_hamming };
+                let mut candidates = correction_candidates(
+                    &conf_vec,
+                    cfg.correction_window,
+                    effective_hamming,
+                    cfg.max_candidates_per_hd,
+                );
+                // The learning attack's characteristic failure mode is a
+                // *mirror* optimum — most of the layer inverted, with later
+                // layers compensating. Try the complement (and its
+                // 1-neighbourhood) right after the single flips.
+                let insert_at = n_bits.min(candidates.len());
+                let complement: Vec<usize> = (0..n_bits).collect();
+                let mut mirrors = vec![complement.clone()];
+                for skip in 0..n_bits {
+                    mirrors.push(complement.iter().copied().filter(|&i| i != skip).collect());
+                }
+                for (offset, m) in mirrors.into_iter().enumerate() {
+                    if !m.is_empty() {
+                        candidates.insert((insert_at + offset).min(candidates.len()), m);
+                    }
+                }
+                let mut applied: Option<Vec<usize>> = None;
+                for cand in &candidates {
+                    report.validation_rounds += 1;
+                    for &i in cand {
+                        let s = layer_slots[i];
+                        let cur = ka.to_bits()[s.index()];
+                        ka.set_bit(s, !cur);
+                    }
+                    // Correction candidates must produce affirmative
+                    // evidence: NoEvidence counts as failure here.
+                    if key_vector_validation_verdict(
+                        white_box,
+                        &ka,
+                        target.as_ref(),
+                        oracle,
+                        cfg,
+                        rng,
+                    ) == ValidationVerdict::Pass
+                    {
+                        applied = Some(cand.clone());
+                        break;
+                    }
+                    // Undo and try the next candidate.
+                    for &i in cand {
+                        let s = layer_slots[i];
+                        let cur = ka.to_bits()[s.index()];
+                        ka.set_bit(s, !cur);
+                    }
+                }
+                timing.add(Procedure::ErrorCorrection, corr_start.elapsed());
+                match applied {
+                    Some(cand) => {
+                        report.corrected = cand.len();
+                        ok = true;
+                    }
+                    None if cfg.continue_on_failure => {
+                        report.validated = false;
+                    }
+                    None => {
+                        return Err(AttackError::CorrectionExhausted {
+                            layer: *keyed_node,
+                            reached_hamming: cfg.max_hamming,
+                        });
+                    }
+                }
+            }
+            let _ = ok;
+
+            // Commit the layer.
+            for site in layer_sites {
+                committed.insert(site.slot, ka.to_bits()[site.slot.index()]);
+            }
+            layers_out.push(report);
+        }
+
+        Ok(DecryptionReport {
+            key: Key::from_bits(ka.to_bits()),
+            timing,
+            queries: oracle.query_count() - start_queries,
+            layers: layers_out,
+        })
+    }
+
+    /// Runs Algorithm 1 on every site of a layer, optionally in parallel.
+    fn infer_layer(
+        &self,
+        g: &Graph,
+        ka: &KeyAssignment,
+        sites: &[LockSite],
+        oracle: &dyn Oracle,
+        rng: &mut Prng,
+    ) -> Vec<(KeySlot, Option<bool>)> {
+        let cfg = &self.cfg;
+        if cfg.threads <= 1 || sites.len() < 2 {
+            return sites
+                .iter()
+                .map(|s| (s.slot, key_bit_inference(g, ka, s, oracle, cfg, rng)))
+                .collect();
+        }
+        // Deterministic parallelism: one forked RNG per site, fixed order.
+        let mut rngs: Vec<Prng> = sites.iter().map(|_| rng.fork()).collect();
+        let mut results: Vec<Option<(KeySlot, Option<bool>)>> = vec![None; sites.len()];
+        let chunk = sites.len().div_ceil(cfg.threads);
+        std::thread::scope(|scope| {
+            let mut rest_results = results.as_mut_slice();
+            let mut rest_rngs = rngs.as_mut_slice();
+            let mut offset = 0usize;
+            for _ in 0..cfg.threads {
+                let take = chunk.min(rest_results.len());
+                if take == 0 {
+                    break;
+                }
+                let (res_head, res_tail) = rest_results.split_at_mut(take);
+                let (rng_head, rng_tail) = rest_rngs.split_at_mut(take);
+                rest_results = res_tail;
+                rest_rngs = rng_tail;
+                let my_sites = &sites[offset..offset + take];
+                offset += take;
+                scope.spawn(move || {
+                    for ((out, site_rng), site) in
+                        res_head.iter_mut().zip(rng_head.iter_mut()).zip(my_sites)
+                    {
+                        *out = Some((
+                            site.slot,
+                            key_bit_inference(g, ka, site, oracle, cfg, site_rng),
+                        ));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker filled slot"))
+            .collect()
+    }
+
+    /// Chooses the next layer's probe elements: up to `validation_neurons`
+    /// units, each probed at a random element (so channel units are not
+    /// always probed at their corner position).
+    fn validation_target(
+        &self,
+        g: &Graph,
+        next_sites: &[LockSite],
+        rng: &mut Prng,
+    ) -> ValidationTarget {
+        let keyed = next_sites[0].keyed_node;
+        // The hyperplane surface is the input of the ReLU consuming the
+        // keyed node — the keyed node itself in a sequential network, or
+        // the residual Add join in a ResNet block.
+        let consumers = g.consumers();
+        let mut surface_node = keyed;
+        for _ in 0..3 {
+            let next = consumers[surface_node.index()].iter().copied().find(|c| {
+                matches!(
+                    g.node(*c).op,
+                    relock_graph::Op::Add | relock_graph::Op::Relu
+                )
+            });
+            match next {
+                Some(c) if matches!(g.node(c).op, relock_graph::Op::Add) => {
+                    surface_node = c;
+                }
+                _ => break,
+            }
+        }
+        let layout = next_sites[0].layout;
+        let slot_of_unit: HashMap<usize, KeySlot> =
+            next_sites.iter().map(|s| (s.unit, s.slot)).collect();
+        // Candidate pool: every unit, unlocked ones first (their
+        // observability check is exact — no unknown-bit hypothesis).
+        // Validation walks the pool until it has collected its quota of
+        // *observable* units; masked witnesses are retried in other linear
+        // regions and via unit-extremum witnesses (Lemma 3 handling).
+        let mut unlocked = Vec::new();
+        let mut locked = Vec::new();
+        for u in 0..layout.n_units {
+            match slot_of_unit.get(&u).copied() {
+                Some(s) => locked.push((u, Some(s))),
+                None => unlocked.push((u, None)),
+            }
+        }
+        rng.shuffle(&mut unlocked);
+        rng.shuffle(&mut locked);
+        let mut units = unlocked;
+        units.extend(locked);
+        ValidationTarget {
+            surface_node,
+            layout,
+            units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::{CountingOracle, LockSpec};
+    use relock_nn::{build_mlp, MlpSpec};
+
+    #[test]
+    fn decrypts_contractive_mlp_exactly() {
+        let mut rng = Prng::seed_from_u64(130);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 16,
+                hidden: vec![12, 8],
+                classes: 4,
+            },
+            LockSpec::evenly(8),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let mut arng = Prng::seed_from_u64(131);
+        let report = Decryptor::new(AttackConfig::fast())
+            .run(model.white_box(), &oracle, &mut arng)
+            .expect("attack should succeed");
+        assert_eq!(
+            report.fidelity(model.true_key()),
+            1.0,
+            "recovered {} vs true {}",
+            report.key,
+            model.true_key()
+        );
+        assert!(report.queries > 0);
+        assert_eq!(report.layers.len(), 2);
+    }
+
+    #[test]
+    fn decrypts_expansive_mlp_via_learning_path() {
+        // First layer wider than the input: Algorithm 1 must yield ⊥ and
+        // the learning + validation + correction pipeline must finish.
+        let mut rng = Prng::seed_from_u64(132);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 6,
+                hidden: vec![12, 8],
+                classes: 4,
+            },
+            LockSpec::evenly(6),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let mut arng = Prng::seed_from_u64(133);
+        let report = Decryptor::new(AttackConfig::fast())
+            .run(model.white_box(), &oracle, &mut arng)
+            .expect("attack should succeed");
+        assert_eq!(report.fidelity(model.true_key()), 1.0);
+        let learned_bits: usize = report.layers.iter().map(|l| l.learned).sum();
+        assert!(learned_bits > 0, "expected the learning path to engage");
+    }
+
+    #[test]
+    fn unlocked_graph_returns_empty_key() {
+        let mut rng = Prng::seed_from_u64(134);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 4,
+                hidden: vec![4],
+                classes: 2,
+            },
+            LockSpec::none(),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let report = Decryptor::new(AttackConfig::fast())
+            .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(135))
+            .unwrap();
+        assert!(report.key.is_empty());
+        assert_eq!(report.queries, 0);
+    }
+
+    #[test]
+    fn parallel_site_inference_matches_sequential_fidelity() {
+        let mut rng = Prng::seed_from_u64(136);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 16,
+                hidden: vec![10],
+                classes: 4,
+            },
+            LockSpec::evenly(6),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let mut cfg = AttackConfig::fast();
+        cfg.threads = 4;
+        let report = Decryptor::new(cfg)
+            .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(137))
+            .unwrap();
+        assert_eq!(report.fidelity(model.true_key()), 1.0);
+    }
+}

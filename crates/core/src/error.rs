@@ -1,0 +1,48 @@
+//! Attack errors.
+
+use relock_graph::NodeId;
+use std::fmt;
+
+/// Errors raised by the decryption algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The white-box graph has lock sites whose slot indices exceed the
+    /// declared key width (malformed input).
+    MalformedGraph(String),
+    /// `error_correction` exhausted its Hamming budget for a layer without
+    /// producing a key vector that passes validation.
+    CorrectionExhausted {
+        /// The keyed node whose layer could not be repaired.
+        layer: NodeId,
+        /// Hamming distance reached before giving up.
+        reached_hamming: usize,
+    },
+    /// The oracle's dimensions do not match the white-box graph.
+    OracleMismatch {
+        /// White-box input width.
+        expect_in: usize,
+        /// Oracle input width.
+        got_in: usize,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::MalformedGraph(msg) => write!(f, "malformed white-box graph: {msg}"),
+            AttackError::CorrectionExhausted {
+                layer,
+                reached_hamming,
+            } => write!(
+                f,
+                "error correction for layer {layer} exhausted at Hamming distance {reached_hamming}"
+            ),
+            AttackError::OracleMismatch { expect_in, got_in } => write!(
+                f,
+                "oracle input width {got_in} does not match white-box input {expect_in}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}

@@ -1,0 +1,248 @@
+//! Algebraic key-bit inference (paper §3.3, Algorithm 1).
+//!
+//! At a critical point `x°` of a protected neuron, the minimum-norm
+//! pre-image `v` of the standard basis vector under the product weight
+//! matrix `Â` moves **only** the target pre-activation: `z(x° ± ε·v) = ±ε`
+//! while every other same-layer pre-activation stays fixed. The oracle then
+//! betrays the key bit (Lemma 2): the side on which its output does *not*
+//! move is the side where the (possibly flipped) ReLU is inactive.
+
+use crate::config::AttackConfig;
+use crate::critical::{search_critical_point, z_at};
+use relock_graph::{Graph, KeyAssignment, LockSite, NodeId, Op, Saved};
+use relock_locking::Oracle;
+use relock_tensor::linalg::preimage;
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+/// The discrete "linear region signature" of a point: ReLU activity masks
+/// and max-pool winners over the ancestors of `upto`. Two points share a
+/// linear region of the sub-network below `upto` iff their signatures match.
+fn region_signature(g: &Graph, keys: &KeyAssignment, x: &Tensor, upto: NodeId) -> Vec<u8> {
+    let acts = g.forward_partial(&x.reshape([1, x.numel()]), keys, upto);
+    let ancestors = g.ancestors_of(upto);
+    let mut sig = Vec::new();
+    // Deterministic node order — signatures must be comparable across calls.
+    for idx in 0..=upto.index() {
+        let id = NodeId(idx);
+        if !ancestors.contains(&id) {
+            continue;
+        }
+        match g.node(id).op {
+            Op::Relu | Op::MaxPool2d { .. } => {}
+            _ => continue,
+        }
+        match acts.saved_of(id) {
+            Saved::Mask(m) => sig.extend(m.as_slice().iter().map(|&v| v as u8)),
+            Saved::ArgMax(a) => sig.extend(a.iter().map(|&i| (i % 251) as u8)),
+            _ => {}
+        }
+    }
+    sig
+}
+
+/// Algorithm 1: infers the key bit of `site`, or returns `None` (the
+/// paper's ⊥) when the pre-image does not exist, the neuron is not
+/// sensitizable, or the oracle responses stay indecisive.
+///
+/// `keys` must hold the already-decrypted bits of preceding layers; bits of
+/// the current and subsequent layers are irrelevant (Lemma 1).
+pub fn key_bit_inference(
+    g: &Graph,
+    keys: &KeyAssignment,
+    site: &LockSite,
+    oracle: &dyn Oracle,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Option<bool> {
+    // The algebraic step is specific to sign locks; other operators route
+    // to the learning attack (§3.9 reduction).
+    if !matches!(g.node(site.keyed_node).op, Op::KeyedSign { .. }) {
+        return None;
+    }
+    let pre_node = site.pre_node;
+    let d_i = g.node(pre_node).out_size;
+    let p = g.input_size();
+    // Expansive layer: Â (d_i × P) cannot be onto, no basis pre-image
+    // exists (§3.4). Skip the expensive Jacobian outright.
+    if cfg.skip_expansive && d_i > p {
+        return None;
+    }
+    let elem = site.scalar_index();
+
+    for _ in 0..cfg.max_site_attempts {
+        let Some(cp) = search_critical_point(g, keys, pre_node, elem, cfg, rng) else {
+            continue;
+        };
+        let acts = g.forward_partial(&cp.x.reshape([1, p]), keys, pre_node);
+        let jac = g.input_jacobian(&acts, pre_node, keys);
+        let e = Tensor::basis(d_i, elem);
+        let Some(pre) = preimage(&jac, &e, cfg.preimage_tol) else {
+            // No pre-image in this region; a different region might still
+            // work (different masks), so retry with a fresh witness.
+            continue;
+        };
+        let mut v = pre.v;
+        if cfg.preimage_perturbation > 0.0 {
+            // Ablation A2: add a null-space component. The perturbed v
+            // still satisfies Âv = e but is no longer minimum-norm.
+            let w = rng.normal_tensor([p]).scale(v.norm().max(1.0));
+            if let Some(back) = preimage(&jac, &jac.matvec(&w), cfg.preimage_tol) {
+                let mut null = w;
+                null.axpy(-1.0, &back.v);
+                v.axpy(cfg.preimage_perturbation, &null);
+            }
+        }
+
+        // Pick an ε that keeps x° ± ε·v inside the current linear region
+        // and actually moves the target pre-activation by ±ε.
+        let sig0 = region_signature(g, keys, &cp.x, pre_node);
+        let mut eps = cfg.epsilon;
+        let mut probes = None;
+        while eps >= cfg.epsilon_min {
+            let mut xp = cp.x.clone();
+            xp.axpy(eps, &v);
+            let mut xm = cp.x.clone();
+            xm.axpy(-eps, &v);
+            let zp = z_at(g, keys, pre_node, elem, &xp);
+            let zm = z_at(g, keys, pre_node, elem, &xm);
+            let moved_right =
+                (zp - (cp.z + eps)).abs() <= 0.2 * eps && (zm - (cp.z - eps)).abs() <= 0.2 * eps;
+            if moved_right
+                && region_signature(g, keys, &xp, pre_node) == sig0
+                && region_signature(g, keys, &xm, pre_node) == sig0
+            {
+                probes = Some((xp, xm));
+                break;
+            }
+            eps *= 0.25;
+        }
+        let Some((xp, xm)) = probes else { continue };
+
+        // Query the oracle at the witness and both probes (3 queries).
+        let o0 = oracle.query(&cp.x);
+        let op = oracle.query(&xp);
+        let om = oracle.query(&xm);
+        let scale = o0.norm_inf().max(1.0);
+        let dp = op.max_abs_diff(&o0) / scale;
+        let dm = om.max_abs_diff(&o0) / scale;
+        // Lemma 2 contrapositive (Algorithm 1 lines 9–10): a changed output
+        // on the +ε side means the ReLU opened there, i.e. no flip (K=0);
+        // a changed output on the −ε side means the flip is present (K=1).
+        if dp >= cfg.diff_tol && dm <= cfg.eq_tol {
+            return Some(false);
+        }
+        if dm >= cfg.diff_tol && dp <= cfg.eq_tol {
+            return Some(true);
+        }
+        // Indecisive (both moved: crossed something unexpected; neither
+        // moved: not sensitizable here) — retry with a fresh witness.
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttackConfig;
+    use relock_locking::{CountingOracle, Key, LockSpec, LockedModel};
+    use relock_nn::{build_mlp, MlpSpec};
+
+    /// An untrained (random-weight) locked MLP is a perfectly valid attack
+    /// target: the algorithm never uses the data distribution.
+    fn locked_mlp(seed: u64, bits: usize) -> LockedModel {
+        let mut rng = Prng::seed_from_u64(seed);
+        build_mlp(
+            &MlpSpec {
+                input: 12,
+                hidden: vec![8, 6],
+                classes: 4,
+            },
+            LockSpec::evenly(bits),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_first_layer_bits_of_contractive_mlp() {
+        let model = locked_mlp(100, 6);
+        let oracle = CountingOracle::new(&model);
+        let g = model.white_box();
+        let cfg = AttackConfig::fast();
+        let mut rng = Prng::seed_from_u64(101);
+        // Candidate assignment: nothing decrypted yet (all +1); first-layer
+        // hyperplanes don't depend on any key bits.
+        let ka = Key::zeros(model.true_key().len()).to_assignment();
+        let first_layer_node = g.lock_sites()[0].keyed_node;
+        let mut inferred = 0usize;
+        for site in g
+            .lock_sites()
+            .iter()
+            .filter(|s| s.keyed_node == first_layer_node)
+        {
+            if let Some(bit) = key_bit_inference(g, &ka, site, &oracle, &cfg, &mut rng) {
+                assert_eq!(
+                    bit,
+                    model.true_key().bit(site.slot.index()),
+                    "slot {} misinferred",
+                    site.slot
+                );
+                inferred += 1;
+            }
+        }
+        assert!(inferred >= 2, "only {inferred} bits inferred algebraically");
+        assert!(oracle.query_count() > 0);
+    }
+
+    #[test]
+    fn expansive_layer_returns_bottom_quickly() {
+        // hidden wider than the input: d_1 > P, Â cannot be onto.
+        let mut rng = Prng::seed_from_u64(102);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 4,
+                hidden: vec![16],
+                classes: 3,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let cfg = AttackConfig::fast();
+        let ka = Key::zeros(4).to_assignment();
+        let mut arng = Prng::seed_from_u64(103);
+        for site in model.white_box().lock_sites() {
+            assert_eq!(
+                key_bit_inference(model.white_box(), &ka, &site, &oracle, &cfg, &mut arng),
+                None
+            );
+        }
+        // skip_expansive means zero oracle traffic was spent.
+        assert_eq!(oracle.query_count(), 0);
+    }
+
+    #[test]
+    fn second_layer_inference_needs_correct_first_layer_keys() {
+        // With the first layer decrypted, second-layer bits are inferable
+        // and correct.
+        let model = locked_mlp(104, 6);
+        let oracle = CountingOracle::new(&model);
+        let g = model.white_box();
+        let cfg = AttackConfig::fast();
+        let mut rng = Prng::seed_from_u64(105);
+        // Assignment with ALL true bits (simulating a decrypted prefix).
+        let ka = model.true_key().to_assignment();
+        let sites = g.lock_sites();
+        let second_layer_node = sites.last().unwrap().keyed_node;
+        let mut checked = 0usize;
+        for site in sites.iter().filter(|s| s.keyed_node == second_layer_node) {
+            if let Some(bit) = key_bit_inference(g, &ka, site, &oracle, &cfg, &mut rng) {
+                assert_eq!(bit, model.true_key().bit(site.slot.index()));
+                checked += 1;
+            }
+        }
+        assert!(checked >= 1, "no second-layer bits inferred");
+    }
+}

@@ -1,0 +1,311 @@
+//! The learning-based attack (paper §3.6).
+//!
+//! Every unresolved flipping unit is relaxed to a continuous multiplier
+//! `m = tanh(θ) ∈ (−1, 1)` — the paper's sigmoid-with-[-1,1]-range
+//! substitution. With all weights and decrypted bits frozen, the θ are
+//! trained by Adam to minimize the mean squared error between the
+//! white-box's logits and oracle responses on random inputs. Bits whose
+//! multiplier reaches the confidence threshold are *settled* (frozen to
+//! ±1) during training, exactly as §4.1 describes.
+
+use crate::config::LearningConfig;
+use crate::probs::{looks_like_probabilities, softmax_rows, softmax_vjp_rows};
+use relock_graph::{Graph, KeyAssignment, KeySlot};
+use relock_locking::Oracle;
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Outcome of a learning attack: the final continuous multiplier of every
+/// requested slot. Settled bits report ±1; `|multiplier|` is the paper's
+/// confidence level, which drives `error_correction`'s flip order.
+pub type LearnedMultipliers = HashMap<KeySlot, f64>;
+
+fn atanh_clamped(m: f64) -> f64 {
+    let c = m.clamp(-0.985, 0.985);
+    0.5 * ((1.0 + c) / (1.0 - c)).ln()
+}
+
+/// Runs the learning-based attack.
+///
+/// * `fixed_bits` — already decrypted bits (preceding layers and algebraic
+///   successes of the current layer), enforced at ±1 throughout;
+/// * `free_slots` — the bits to learn (the current layer's ⊥ bits plus all
+///   bits of subsequent layers, which must co-adapt for the loss to be
+///   meaningful);
+/// * `warm_start` — multipliers from a previous invocation (Algorithm 2
+///   re-runs the attack layer by layer; warm starting makes later layers
+///   cheap).
+///
+/// Returns the final multiplier per free slot.
+pub fn learning_attack(
+    g: &Graph,
+    oracle: &dyn Oracle,
+    fixed_bits: &HashMap<KeySlot, bool>,
+    free_slots: &[KeySlot],
+    warm_start: &LearnedMultipliers,
+    cfg: &LearningConfig,
+    input_scale: f64,
+    rng: &mut Prng,
+) -> LearnedMultipliers {
+    let p = g.input_size();
+    let n_slots = g.key_slot_count();
+    let mut ka = KeyAssignment::all_zero_bits(n_slots);
+    for (&slot, &bit) in fixed_bits {
+        ka.set_bit(slot, bit);
+    }
+    if free_slots.is_empty() {
+        return LearnedMultipliers::new();
+    }
+
+    // θ parameters for the free slots.
+    let mut theta: Vec<f64> = free_slots
+        .iter()
+        .map(|s| match warm_start.get(s) {
+            Some(&m) => atanh_clamped(m),
+            None => 0.05 * rng.normal(),
+        })
+        .collect();
+    let mut settled: Vec<bool> = vec![false; free_slots.len()];
+    for (i, s) in free_slots.iter().enumerate() {
+        ka.set(*s, theta[i].tanh());
+    }
+
+    // Oracle-labelled training set: random inputs, one query per row.
+    let x = rng.normal_tensor([cfg.samples, p]).scale(input_scale);
+    let y = oracle.query_batch(&x);
+    let q = y.dims()[1];
+    // A probability oracle (§2.3 "output vector") is matched in
+    // probability space, chaining the softmax into the gradient.
+    let oracle_is_softmax = looks_like_probabilities(&y);
+
+    // Adam state over θ.
+    let (mut m1, mut m2) = (vec![0.0; theta.len()], vec![0.0; theta.len()]);
+    let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+    let mut t = 0u64;
+
+    let mut best_loss = f64::INFINITY;
+    let mut stale_epochs = 0usize;
+
+    for _ in 0..cfg.epochs {
+        let mut order: Vec<usize> = (0..cfg.samples).collect();
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch) {
+            // Gather the mini-batch.
+            let mut xb = Vec::with_capacity(chunk.len() * p);
+            let mut yb = Vec::with_capacity(chunk.len() * q);
+            for &i in chunk {
+                xb.extend_from_slice(x.row(i));
+                yb.extend_from_slice(y.row(i));
+            }
+            let xb = Tensor::from_vec(xb, [chunk.len(), p]);
+            let yb = Tensor::from_vec(yb, [chunk.len(), q]);
+
+            let acts = g.forward(&xb, &ka);
+            let logits = acts.value(g.output_id());
+            let (diff, grad_out) = if oracle_is_softmax {
+                let probs = softmax_rows(logits);
+                let diff = probs.zip_map(&yb, |a, b| a - b);
+                let grad_probs = diff.scale(2.0 / (chunk.len() * q) as f64);
+                let grad_out = softmax_vjp_rows(&probs, &grad_probs);
+                (diff, grad_out)
+            } else {
+                let diff = logits.zip_map(&yb, |a, b| a - b);
+                let grad_out = diff.scale(2.0 / (chunk.len() * q) as f64);
+                (diff, grad_out)
+            };
+            epoch_loss +=
+                diff.as_slice().iter().map(|d| d * d).sum::<f64>() / (chunk.len() * q) as f64;
+            batches += 1;
+            let grads = g.backward(&acts, &grad_out, &ka);
+
+            t += 1;
+            let (bc1, bc2) = (1.0 - b1.powi(t as i32), 1.0 - b2.powi(t as i32));
+            for (i, slot) in free_slots.iter().enumerate() {
+                if settled[i] {
+                    continue;
+                }
+                let m = theta[i].tanh();
+                let dm = grads.keys[slot.index()];
+                let dtheta = dm * (1.0 - m * m);
+                m1[i] = b1 * m1[i] + (1.0 - b1) * dtheta;
+                m2[i] = b2 * m2[i] + (1.0 - b2) * dtheta * dtheta;
+                theta[i] -= cfg.lr * (m1[i] / bc1) / ((m2[i] / bc2).sqrt() + eps);
+                ka.set(*slot, theta[i].tanh());
+            }
+        }
+        epoch_loss /= batches.max(1) as f64;
+
+        // Settle confident bits (freeze to ±1).
+        let mut newly_settled = false;
+        for (i, slot) in free_slots.iter().enumerate() {
+            if !settled[i] && theta[i].tanh().abs() >= cfg.confidence {
+                settled[i] = true;
+                newly_settled = true;
+                ka.set(*slot, theta[i].tanh().signum());
+            }
+        }
+        if settled.iter().all(|&s| s) {
+            break;
+        }
+        // Early stopping: no settles and no loss progress.
+        if newly_settled || epoch_loss < best_loss * 0.999 {
+            stale_epochs = 0;
+        } else {
+            stale_epochs += 1;
+            if stale_epochs >= cfg.patience {
+                break;
+            }
+        }
+        best_loss = best_loss.min(epoch_loss);
+    }
+
+    free_slots
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let m = if settled[i] {
+                theta[i].tanh().signum()
+            } else {
+                theta[i].tanh()
+            };
+            (*s, m)
+        })
+        .collect()
+}
+
+/// Rounds learned multipliers to key bits (`m < 0 ⇒ bit 1`) — the paper's
+/// final ⊥ replacement rule.
+pub fn round_to_bits(multipliers: &LearnedMultipliers) -> HashMap<KeySlot, bool> {
+    multipliers.iter().map(|(&s, &m)| (s, m < 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::{CountingOracle, LockSpec};
+    use relock_nn::{build_mlp, MlpSpec};
+
+    #[test]
+    fn learns_key_of_small_expansive_mlp() {
+        // Expansive first layer (16 > 8): the algebraic path is blind here,
+        // this is exactly the case the learning attack exists for.
+        let mut rng = Prng::seed_from_u64(110);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 8,
+                hidden: vec![16],
+                classes: 4,
+            },
+            LockSpec::evenly(6),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let g = model.white_box();
+        let free: Vec<KeySlot> = g.lock_sites().iter().map(|s| s.slot).collect();
+        let cfg = LearningConfig {
+            samples: 128,
+            epochs: 120,
+            ..LearningConfig::default()
+        };
+        let mut arng = Prng::seed_from_u64(111);
+        let learned = learning_attack(
+            g,
+            &oracle,
+            &HashMap::new(),
+            &free,
+            &LearnedMultipliers::new(),
+            &cfg,
+            2.0,
+            &mut arng,
+        );
+        let bits = round_to_bits(&learned);
+        let correct = bits
+            .iter()
+            .filter(|(s, &b)| model.true_key().bit(s.index()) == b)
+            .count();
+        // The learning attack is not guaranteed exact (that is what §3.7's
+        // validation exists for), but it must recover a clear majority and
+        // every *confident* bit must be right.
+        assert!(
+            correct >= 4,
+            "learning attack recovered only {correct}/6 bits: {learned:?}"
+        );
+        for (slot, &m) in &learned {
+            if m.abs() >= cfg.confidence {
+                assert_eq!(
+                    m < 0.0,
+                    model.true_key().bit(slot.index()),
+                    "confident bit {slot} is wrong (m = {m})"
+                );
+            }
+        }
+        // Exactly `samples` oracle queries were spent.
+        assert_eq!(oracle.query_count(), 128);
+    }
+
+    #[test]
+    fn fixed_bits_are_respected_and_not_returned() {
+        let mut rng = Prng::seed_from_u64(112);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 6,
+                hidden: vec![10],
+                classes: 3,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let g = model.white_box();
+        let sites = g.lock_sites();
+        let mut fixed = HashMap::new();
+        fixed.insert(sites[0].slot, model.true_key().bit(sites[0].slot.index()));
+        let free: Vec<KeySlot> = sites[1..].iter().map(|s| s.slot).collect();
+        let mut arng = Prng::seed_from_u64(113);
+        let learned = learning_attack(
+            g,
+            &oracle,
+            &fixed,
+            &free,
+            &LearnedMultipliers::new(),
+            &LearningConfig::default(),
+            2.0,
+            &mut arng,
+        );
+        assert!(!learned.contains_key(&sites[0].slot));
+        assert_eq!(learned.len(), 3);
+    }
+
+    #[test]
+    fn empty_free_set_is_a_no_op() {
+        let mut rng = Prng::seed_from_u64(114);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 4,
+                hidden: vec![4],
+                classes: 2,
+            },
+            LockSpec::none(),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let out = learning_attack(
+            model.white_box(),
+            &oracle,
+            &HashMap::new(),
+            &[],
+            &LearnedMultipliers::new(),
+            &LearningConfig::default(),
+            1.0,
+            &mut Prng::seed_from_u64(115),
+        );
+        assert!(out.is_empty());
+        assert_eq!(oracle.query_count(), 0);
+    }
+}

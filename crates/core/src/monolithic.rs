@@ -1,0 +1,140 @@
+//! The monolithic learning-based attack (paper §4.3) — the baseline that
+//! Table 1 compares the decryption algorithm against.
+//!
+//! It is simply the §3.6 learning attack applied to **all** key bits at
+//! once, with no algebraic help, no per-layer decomposition, no validation
+//! and no error correction. The paper shows it works for small networks and
+//! small key sizes but plateaus near 50–60% fidelity on large expansive
+//! models — behaviour this implementation reproduces.
+
+use crate::config::LearningConfig;
+use crate::learning::{learning_attack, round_to_bits, LearnedMultipliers};
+use relock_graph::{Graph, KeySlot};
+use relock_locking::{Key, Oracle};
+use relock_tensor::rng::Prng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the monolithic baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct MonolithicConfig {
+    /// Learning hyper-parameters (typically with a larger sample budget
+    /// than the per-layer attack, matching the paper's 1k–10k queries).
+    pub learning: LearningConfig,
+    /// Standard deviation of the random query inputs.
+    pub input_scale: f64,
+}
+
+impl Default for MonolithicConfig {
+    fn default() -> Self {
+        MonolithicConfig {
+            learning: LearningConfig {
+                samples: 1000,
+                batch: 32,
+                epochs: 120,
+                lr: 0.08,
+                confidence: 0.95,
+                patience: 20,
+            },
+            input_scale: 3.0,
+        }
+    }
+}
+
+/// Outcome of the monolithic attack.
+#[derive(Debug, Clone)]
+pub struct MonolithicReport {
+    /// The extracted key (every ⊥ rounded by multiplier sign).
+    pub key: Key,
+    /// Final continuous multipliers (confidence = |value|).
+    pub multipliers: Vec<f64>,
+    /// Wall-clock time of the attack.
+    pub elapsed: Duration,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+/// The monolithic learning-based attack.
+#[derive(Debug, Clone, Default)]
+pub struct MonolithicAttack {
+    cfg: MonolithicConfig,
+}
+
+impl MonolithicAttack {
+    /// Creates the attack with the given configuration.
+    pub fn new(cfg: MonolithicConfig) -> Self {
+        MonolithicAttack { cfg }
+    }
+
+    /// Runs the baseline against `oracle`.
+    pub fn run(&self, white_box: &Graph, oracle: &dyn Oracle, rng: &mut Prng) -> MonolithicReport {
+        let start = Instant::now();
+        let start_queries = oracle.query_count();
+        let free: Vec<KeySlot> = (0..white_box.key_slot_count()).map(KeySlot).collect();
+        let learned = learning_attack(
+            white_box,
+            oracle,
+            &HashMap::new(),
+            &free,
+            &LearnedMultipliers::new(),
+            &self.cfg.learning,
+            self.cfg.input_scale,
+            rng,
+        );
+        let bits_map = round_to_bits(&learned);
+        let bits: Vec<bool> = free
+            .iter()
+            .map(|s| bits_map.get(s).copied().unwrap_or(false))
+            .collect();
+        let multipliers: Vec<f64> = free
+            .iter()
+            .map(|s| learned.get(s).copied().unwrap_or(0.0))
+            .collect();
+        MonolithicReport {
+            key: Key::from_bits(bits),
+            multipliers,
+            elapsed: start.elapsed(),
+            queries: oracle.query_count() - start_queries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::{CountingOracle, LockSpec};
+    use relock_nn::{build_mlp, MlpSpec};
+
+    #[test]
+    fn recovers_small_mlp_key_mostly() {
+        let mut rng = Prng::seed_from_u64(140);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 10,
+                hidden: vec![8, 6],
+                classes: 4,
+            },
+            LockSpec::evenly(6),
+            &mut rng,
+        )
+        .unwrap();
+        let oracle = CountingOracle::new(&model);
+        let cfg = MonolithicConfig {
+            learning: LearningConfig {
+                samples: 200,
+                epochs: 100,
+                ..LearningConfig::default()
+            },
+            input_scale: 2.0,
+        };
+        let report = MonolithicAttack::new(cfg).run(
+            model.white_box(),
+            &oracle,
+            &mut Prng::seed_from_u64(141),
+        );
+        let fidelity = report.key.fidelity(model.true_key());
+        assert!(fidelity >= 0.8, "fidelity {fidelity}");
+        assert_eq!(report.queries, 200);
+        assert_eq!(report.multipliers.len(), 6);
+    }
+}

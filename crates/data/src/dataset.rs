@@ -1,0 +1,166 @@
+//! Labelled datasets with train/test splits and mini-batch iteration.
+
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+/// A labelled split: `(N, P)` inputs with one class label per row.
+#[derive(Debug, Clone)]
+pub struct Split {
+    x: Tensor,
+    y: Vec<usize>,
+}
+
+impl Split {
+    /// Wraps inputs and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `(N, P)` with `N == y.len()`.
+    pub fn new(x: Tensor, y: Vec<usize>) -> Self {
+        assert!(x.shape().is_matrix(), "split inputs must be (N, P)");
+        assert_eq!(x.dims()[0], y.len(), "inputs/labels length mismatch");
+        Split { x, y }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// The `(N, P)` input matrix.
+    pub fn inputs(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.x.dims()[1]
+    }
+
+    /// A single example as `(input row, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn example(&self, i: usize) -> (&[f64], usize) {
+        (self.x.row(i), self.y[i])
+    }
+
+    /// Gathers the listed rows into a new `(k, P)` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, idx: &[usize]) -> (Tensor, Vec<usize>) {
+        let p = self.input_dim();
+        let mut data = Vec::with_capacity(idx.len() * p);
+        let mut labels = Vec::with_capacity(idx.len());
+        for &i in idx {
+            data.extend_from_slice(self.x.row(i));
+            labels.push(self.y[i]);
+        }
+        (Tensor::from_vec(data, [idx.len(), p]), labels)
+    }
+
+    /// Iterates shuffled mini-batches.
+    pub fn batches<'a>(&'a self, batch_size: usize, rng: &mut Prng) -> BatchIter<'a> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        BatchIter {
+            split: self,
+            order,
+            batch_size: batch_size.max(1),
+            cursor: 0,
+        }
+    }
+}
+
+/// Iterator over shuffled mini-batches of a [`Split`].
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    split: &'a Split,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.split.gather(idx))
+    }
+}
+
+/// A complete task: train and test splits plus class count.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training split.
+    pub train: Split,
+    /// Held-out test split (the accuracy column of Table 1).
+    pub test: Split,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Input dimensionality `P`.
+    pub fn input_dim(&self) -> usize {
+        self.train.input_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Split {
+        Split::new(
+            Tensor::from_rows(&[&[0.0, 1.0], &[2.0, 3.0], &[4.0, 5.0]]),
+            vec![0, 1, 0],
+        )
+    }
+
+    #[test]
+    fn gather_preserves_pairs() {
+        let s = tiny();
+        let (x, y) = s.gather(&[2, 0]);
+        assert_eq!(x.row(0), &[4.0, 5.0]);
+        assert_eq!(y, vec![0, 0]);
+        assert_eq!(x.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn batches_cover_every_example_once() {
+        let s = tiny();
+        let mut rng = Prng::seed_from_u64(1);
+        let mut seen = 0usize;
+        for (x, y) in s.batches(2, &mut rng) {
+            assert_eq!(x.dims()[0], y.len());
+            seen += y.len();
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_labels_panic() {
+        Split::new(Tensor::zeros([2, 2]), vec![0]);
+    }
+}

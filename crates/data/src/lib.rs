@@ -1,0 +1,21 @@
+//! Deterministic synthetic classification tasks.
+//!
+//! The paper trains its victim networks on MNIST and CIFAR-10. The attack
+//! itself never touches the training data — it queries the oracle at random
+//! and crafted inputs — so the reproduction substitutes seeded synthetic
+//! tasks with matched input shapes (DESIGN.md §2):
+//!
+//! - [`mnist_like`]: a 784-dimensional (configurable) 10-class Gaussian
+//!   mixture, one anisotropic blob per class;
+//! - [`cifar_like`]: a `C×H×W` image task where each class has a random
+//!   low-frequency template perturbed by pixel noise, so convolutional
+//!   structure genuinely helps.
+//!
+//! Both generators are deterministic in the provided
+//! [`Prng`](relock_tensor::rng::Prng).
+
+mod dataset;
+mod synth;
+
+pub use dataset::{BatchIter, Dataset, Split};
+pub use synth::{cifar_like, mnist_like, two_moons, SynthConfig};

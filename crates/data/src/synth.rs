@@ -1,0 +1,264 @@
+//! Synthetic task generators.
+
+use crate::dataset::{Dataset, Split};
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+/// Parameters shared by the synthetic generators.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Number of classes.
+    pub classes: usize,
+    /// Distance of class centroids from the origin (signal strength).
+    pub separation: f64,
+    /// Standard deviation of per-example noise.
+    pub noise: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            classes: 10,
+            // Pairwise centroid distance ≈ separation·√2; at 4.5 the Bayes
+            // accuracy is ≈99%, matching the high original accuracies the
+            // paper reports for its victims.
+            separation: 4.5,
+            noise: 1.0,
+        }
+    }
+}
+
+fn gaussian_mixture(
+    rng: &mut Prng,
+    dim: usize,
+    n_train: usize,
+    n_test: usize,
+    cfg: SynthConfig,
+) -> Dataset {
+    assert!(cfg.classes >= 2, "need at least two classes");
+    // Class centroids: random directions at radius `separation`.
+    let centroids: Vec<Tensor> = (0..cfg.classes)
+        .map(|_| rng.unit_vector(dim).scale(cfg.separation))
+        .collect();
+    let make = |n: usize, rng: &mut Prng| {
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % cfg.classes;
+            let centroid = &centroids[c];
+            for d in 0..dim {
+                data.push(centroid.as_slice()[d] + cfg.noise * rng.normal());
+            }
+            labels.push(c);
+        }
+        Split::new(Tensor::from_vec(data, [n, dim]), labels)
+    };
+    let train = make(n_train, rng);
+    let test = make(n_test, rng);
+    Dataset {
+        train,
+        test,
+        classes: cfg.classes,
+    }
+}
+
+/// An MNIST-shaped task: `dim`-dimensional (784 for the paper-scale MLP),
+/// 10-class Gaussian mixture.
+///
+/// The attack's behaviour depends on the *network*, not the data (see
+/// DESIGN.md §2); this task exists so the accuracy columns of Table 1 have
+/// meaning.
+///
+/// ```
+/// use relock_tensor::rng::Prng;
+/// let mut rng = Prng::seed_from_u64(0);
+/// let task = relock_data::mnist_like(&mut rng, 100, 20, 784);
+/// assert_eq!(task.input_dim(), 784);
+/// assert_eq!(task.classes, 10);
+/// ```
+pub fn mnist_like(rng: &mut Prng, n_train: usize, n_test: usize, dim: usize) -> Dataset {
+    gaussian_mixture(rng, dim, n_train, n_test, SynthConfig::default())
+}
+
+/// A CIFAR-shaped task: `channels × h × w` images where each class is a
+/// smooth random template plus pixel noise, flattened channel-major.
+///
+/// Templates are generated at a coarse resolution and bilinearly upsampled,
+/// giving spatial correlation that convolutional models exploit.
+pub fn cifar_like(
+    rng: &mut Prng,
+    n_train: usize,
+    n_test: usize,
+    channels: usize,
+    h: usize,
+    w: usize,
+) -> Dataset {
+    let cfg = SynthConfig::default();
+    let dim = channels * h * w;
+    let coarse = 4usize;
+    // Smooth class templates: coarse noise upsampled bilinearly.
+    let centroids: Vec<Vec<f64>> = (0..cfg.classes)
+        .map(|_| {
+            let mut tpl = vec![0.0f64; dim];
+            for c in 0..channels {
+                let grid: Vec<f64> = (0..coarse * coarse)
+                    .map(|_| rng.normal() * cfg.separation * 0.6)
+                    .collect();
+                for y in 0..h {
+                    for x in 0..w {
+                        // Bilinear sample of the coarse grid.
+                        let gy = y as f64 / h.max(2) as f64 * (coarse - 1) as f64;
+                        let gx = x as f64 / w.max(2) as f64 * (coarse - 1) as f64;
+                        let (y0, x0) = (gy.floor() as usize, gx.floor() as usize);
+                        let (y1, x1) = ((y0 + 1).min(coarse - 1), (x0 + 1).min(coarse - 1));
+                        let (fy, fx) = (gy - y0 as f64, gx - x0 as f64);
+                        let v00 = grid[y0 * coarse + x0];
+                        let v01 = grid[y0 * coarse + x1];
+                        let v10 = grid[y1 * coarse + x0];
+                        let v11 = grid[y1 * coarse + x1];
+                        let v = v00 * (1.0 - fy) * (1.0 - fx)
+                            + v01 * (1.0 - fy) * fx
+                            + v10 * fy * (1.0 - fx)
+                            + v11 * fy * fx;
+                        tpl[c * h * w + y * w + x] = v;
+                    }
+                }
+            }
+            tpl
+        })
+        .collect();
+    let make = |n: usize, rng: &mut Prng| {
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % cfg.classes;
+            for d in 0..dim {
+                data.push(centroids[c][d] + cfg.noise * rng.normal());
+            }
+            labels.push(c);
+        }
+        Split::new(Tensor::from_vec(data, [n, dim]), labels)
+    };
+    let train = make(n_train, rng);
+    let test = make(n_test, rng);
+    Dataset {
+        train,
+        test,
+        classes: cfg.classes,
+    }
+}
+
+/// The classic two-moons 2-D binary task, used by the hyperplane-geometry
+/// example (paper Figure 2) because its decision boundary is visually
+/// interesting.
+pub fn two_moons(rng: &mut Prng, n_train: usize, n_test: usize, noise: f64) -> Dataset {
+    let make = |n: usize, rng: &mut Prng| {
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 2;
+            let t = rng.uniform() * std::f64::consts::PI;
+            let (mut x, mut y) = (t.cos(), t.sin());
+            if c == 1 {
+                x = 1.0 - x;
+                y = 0.5 - y;
+            }
+            data.push(x + noise * rng.normal());
+            data.push(y + noise * rng.normal());
+            labels.push(c);
+        }
+        Split::new(Tensor::from_vec(data, [n, 2]), labels)
+    };
+    let train = make(n_train, rng);
+    let test = make(n_test, rng);
+    Dataset {
+        train,
+        test,
+        classes: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_like_is_deterministic_per_seed() {
+        let a = mnist_like(&mut Prng::seed_from_u64(5), 30, 10, 16);
+        let b = mnist_like(&mut Prng::seed_from_u64(5), 30, 10, 16);
+        assert!(a.train.inputs().max_abs_diff(b.train.inputs()) == 0.0);
+        assert_eq!(a.train.labels(), b.train.labels());
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        let d = mnist_like(&mut Prng::seed_from_u64(6), 50, 20, 8);
+        let mut seen = vec![false; d.classes];
+        for &l in d.train.labels() {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn classes_are_linearly_separable_enough() {
+        // Nearest-centroid classification should beat 90% at default
+        // separation — the tasks are meant to be easy to train on.
+        let d = mnist_like(&mut Prng::seed_from_u64(7), 200, 100, 32);
+        let dim = d.input_dim();
+        let mut centroids = vec![vec![0.0f64; dim]; d.classes];
+        let mut counts = vec![0usize; d.classes];
+        for i in 0..d.train.len() {
+            let (x, y) = d.train.example(i);
+            counts[y] += 1;
+            for (c, &v) in centroids[y].iter_mut().zip(x) {
+                *c += v;
+            }
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= *n as f64;
+            }
+        }
+        let mut correct = 0usize;
+        for i in 0..d.test.len() {
+            let (x, y) = d.test.example(i);
+            let best = (0..d.classes)
+                .min_by(|&a, &b| {
+                    let da: f64 = centroids[a]
+                        .iter()
+                        .zip(x)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
+                    let db: f64 = centroids[b]
+                        .iter()
+                        .zip(x)
+                        .map(|(c, v)| (c - v) * (c - v))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == y {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / d.test.len() as f64 > 0.9,
+            "nearest centroid only {correct}/100"
+        );
+    }
+
+    #[test]
+    fn cifar_like_has_spatial_correlation() {
+        let d = cifar_like(&mut Prng::seed_from_u64(8), 20, 4, 3, 8, 8);
+        assert_eq!(d.input_dim(), 3 * 8 * 8);
+        assert_eq!(d.classes, 10);
+    }
+
+    #[test]
+    fn two_moons_is_two_dimensional() {
+        let d = two_moons(&mut Prng::seed_from_u64(9), 40, 10, 0.05);
+        assert_eq!(d.input_dim(), 2);
+        assert_eq!(d.classes, 2);
+    }
+}

@@ -1,0 +1,550 @@
+//! Graph execution: batched forward, reverse-mode backward, and the
+//! forward-mode input Jacobian (the paper's product weight matrix Â).
+
+use crate::graph::{Graph, NodeId};
+use crate::key::KeyAssignment;
+use crate::op::{Op, Saved};
+use relock_tensor::Tensor;
+
+/// All per-node values and saved contexts from one forward pass.
+#[derive(Debug, Clone)]
+pub struct Activations {
+    values: Vec<Tensor>,
+    saved: Vec<Saved>,
+    batch: usize,
+}
+
+impl Activations {
+    /// The `(batch, size)` value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.values[id.index()]
+    }
+
+    /// Batch size of this pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The saved forward context of a node (mask, winners, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range.
+    pub fn saved_of(&self, id: NodeId) -> &Saved {
+        &self.saved[id.index()]
+    }
+
+    /// Scalar value of element `e` of a node for sample `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn scalar(&self, id: NodeId, s: usize, e: usize) -> f64 {
+        self.values[id.index()].get2(s, e)
+    }
+}
+
+/// Gradients produced by [`Graph::backward`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-node `(weight-like, bias-like)` parameter gradients; `None` for
+    /// parameterless nodes.
+    pub params: Vec<Option<(Tensor, Tensor)>>,
+    /// Gradient of the loss with respect to each continuous key multiplier.
+    pub keys: Vec<f64>,
+}
+
+impl Gradients {
+    /// Sum of squared parameter-gradient entries (diagnostic).
+    pub fn param_norm_sq(&self) -> f64 {
+        self.params
+            .iter()
+            .flatten()
+            .map(|(w, b)| {
+                w.as_slice().iter().map(|x| x * x).sum::<f64>()
+                    + b.as_slice().iter().map(|x| x * x).sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+impl Graph {
+    /// Runs a batched forward pass.
+    ///
+    /// `x` is `(batch, P)`; pass a rank-1 tensor for a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the graph.
+    pub fn forward(&self, x: &Tensor, keys: &KeyAssignment) -> Activations {
+        let x = if x.rank() == 1 {
+            x.reshape([1, x.numel()])
+        } else {
+            x.clone()
+        };
+        assert_eq!(
+            x.dims()[1],
+            self.input_size(),
+            "input width {} != graph input {}",
+            x.dims()[1],
+            self.input_size()
+        );
+        let batch = x.dims()[0];
+        let n = self.nodes.len();
+        let mut values: Vec<Tensor> = Vec::with_capacity(n);
+        let mut saved: Vec<Saved> = Vec::with_capacity(n);
+        for node in &self.nodes {
+            if matches!(node.op, Op::Input { .. }) {
+                values.push(x.clone());
+                saved.push(Saved::None);
+                continue;
+            }
+            let inputs: Vec<&Tensor> = node.inputs.iter().map(|i| &values[i.index()]).collect();
+            let (v, s) = node.op.forward_batch(&inputs, keys);
+            values.push(v);
+            saved.push(s);
+        }
+        Activations {
+            values,
+            saved,
+            batch,
+        }
+    }
+
+    /// Runs a forward pass computing **only the ancestors of `target`**
+    /// (inclusive). Non-ancestor nodes get empty placeholder values; only
+    /// touch nodes in `target`'s ancestor set on the returned activations.
+    ///
+    /// This is the attack's workhorse: critical-point search (paper §3.5)
+    /// evaluates one pre-activation thousands of times and must not pay for
+    /// the layers above it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the graph.
+    pub fn forward_partial(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Activations {
+        let x = if x.rank() == 1 {
+            x.reshape([1, x.numel()])
+        } else {
+            x.clone()
+        };
+        assert_eq!(x.dims()[1], self.input_size(), "input width mismatch");
+        let batch = x.dims()[0];
+        let ancestors = self.ancestors_of(target);
+        let n = self.nodes.len();
+        let mut values: Vec<Tensor> = Vec::with_capacity(n);
+        let mut saved: Vec<Saved> = Vec::with_capacity(n);
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !ancestors.contains(&NodeId(idx)) || idx > target.index() {
+                values.push(Tensor::zeros([0]));
+                saved.push(Saved::None);
+                continue;
+            }
+            if matches!(node.op, Op::Input { .. }) {
+                values.push(x.clone());
+                saved.push(Saved::None);
+                continue;
+            }
+            let inputs: Vec<&Tensor> = node.inputs.iter().map(|i| &values[i.index()]).collect();
+            let (v, s) = node.op.forward_batch(&inputs, keys);
+            values.push(v);
+            saved.push(s);
+        }
+        Activations {
+            values,
+            saved,
+            batch,
+        }
+    }
+
+    /// Evaluates only `target` (and its ancestors), returning its
+    /// `(batch, size)` value. See [`Graph::forward_partial`].
+    pub fn eval_node(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Tensor {
+        let acts = self.forward_partial(x, keys, target);
+        acts.values[target.index()].clone()
+    }
+
+    /// Convenience: logits of a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a vector of the graph's input width.
+    pub fn logits(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
+        let acts = self.forward(x, keys);
+        let out = acts.value(self.output_id());
+        Tensor::from_slice(out.row(0))
+    }
+
+    /// Convenience: batched logits, `(batch, Q)`.
+    pub fn logits_batch(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
+        let acts = self.forward(x, keys);
+        acts.value(self.output_id()).clone()
+    }
+
+    /// Reverse-mode pass: propagates `grad_out` (`(batch, Q)`, the loss
+    /// gradient at the output node) back through the recorded activations,
+    /// producing parameter and key gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out` does not match the output node's batch shape.
+    pub fn backward(
+        &self,
+        acts: &Activations,
+        grad_out: &Tensor,
+        keys: &KeyAssignment,
+    ) -> Gradients {
+        let n = self.nodes.len();
+        assert_eq!(
+            grad_out.dims(),
+            acts.value(self.output_id()).dims(),
+            "grad_out shape mismatch"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[self.output_id().index()] = Some(grad_out.clone());
+        let mut params: Vec<Option<(Tensor, Tensor)>> = vec![None; n];
+        let mut key_grads = vec![0.0f64; self.key_slots];
+
+        for idx in (0..n).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            let node = &self.nodes[idx];
+            if matches!(node.op, Op::Input { .. }) {
+                // Gradient w.r.t. the network input is discarded here;
+                // callers that need it use `backward_to_input`.
+                continue;
+            }
+            let inputs: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|i| &acts.values[i.index()])
+                .collect();
+            let (din, pgrad) =
+                node.op
+                    .backward_batch(&inputs, &acts.saved[idx], &g, keys, &mut key_grads);
+            params[idx] = pgrad;
+            for (inp, d) in node.inputs.iter().zip(din) {
+                match &mut grads[inp.index()] {
+                    Some(existing) => existing.axpy(1.0, &d),
+                    slot => *slot = Some(d),
+                }
+            }
+        }
+        Gradients {
+            params,
+            keys: key_grads,
+        }
+    }
+
+    /// Like [`Graph::backward`] but also returns the gradient with respect
+    /// to the network input (used by gradient-based probes).
+    pub fn backward_to_input(
+        &self,
+        acts: &Activations,
+        grad_out: &Tensor,
+        keys: &KeyAssignment,
+    ) -> (Gradients, Tensor) {
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[self.output_id().index()] = Some(grad_out.clone());
+        let mut params: Vec<Option<(Tensor, Tensor)>> = vec![None; n];
+        let mut key_grads = vec![0.0f64; self.key_slots];
+        let mut input_grad: Option<Tensor> = None;
+
+        for idx in (0..n).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            let node = &self.nodes[idx];
+            if matches!(node.op, Op::Input { .. }) {
+                input_grad = Some(g);
+                continue;
+            }
+            let inputs: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|i| &acts.values[i.index()])
+                .collect();
+            let (din, pgrad) =
+                node.op
+                    .backward_batch(&inputs, &acts.saved[idx], &g, keys, &mut key_grads);
+            params[idx] = pgrad;
+            for (inp, d) in node.inputs.iter().zip(din) {
+                match &mut grads[inp.index()] {
+                    Some(existing) => existing.axpy(1.0, &d),
+                    slot => *slot = Some(d),
+                }
+            }
+        }
+        let input_grad =
+            input_grad.unwrap_or_else(|| Tensor::zeros([acts.batch, self.input_size()]));
+        (
+            Gradients {
+                params,
+                keys: key_grads,
+            },
+            input_grad,
+        )
+    }
+
+    /// Computes the Jacobian of `target`'s output with respect to the
+    /// network input, linearized at the single-sample activations `acts` —
+    /// the paper's product weight matrix `Â` (Formulas 2–4) generalized to
+    /// DAGs and smooth ops.
+    ///
+    /// Returns a `(target_size, P)` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts` was recorded with batch ≠ 1.
+    pub fn input_jacobian(
+        &self,
+        acts: &Activations,
+        target: NodeId,
+        keys: &KeyAssignment,
+    ) -> Tensor {
+        assert_eq!(acts.batch, 1, "input_jacobian requires a single sample");
+        let p = self.input_size();
+        let ancestors = self.ancestors_of(target);
+        // Refcount tangents so bundles are freed as soon as every relevant
+        // consumer has used them.
+        let mut remaining_uses = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !ancestors.contains(&NodeId(i)) {
+                continue;
+            }
+            for inp in &node.inputs {
+                remaining_uses[inp.index()] += 1;
+            }
+        }
+        let mut tangents: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        tangents[self.input_id().index()] = Some(Tensor::eye(p));
+
+        for idx in 0..=target.index() {
+            let id = NodeId(idx);
+            if !ancestors.contains(&id) || id == self.input_id() {
+                continue;
+            }
+            let node = &self.nodes[idx];
+            let in_values: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|i| &acts.values[i.index()])
+                .collect();
+            // Shortcut: a Linear fed directly (and only) by the input sees
+            // the untouched identity tangent, so its output bundle is just
+            // W_effᵀ — skip the (P, P) × (out, P) product. This makes the
+            // MLP's Â computation cheap (the paper's Formula 2 base case).
+            let is_first_linear = matches!(node.op, Op::Linear { .. })
+                && node.inputs.len() == 1
+                && node.inputs[0] == self.input_id();
+            let out = if is_first_linear {
+                crate::forward::effective_linear_weight(&node.op, keys).transpose()
+            } else {
+                let in_tangents: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|i| {
+                        tangents[i.index()]
+                            .as_ref()
+                            .expect("tangent freed before use")
+                    })
+                    .collect();
+                node.op
+                    .jvp(&in_values, &acts.saved[idx], &in_tangents, keys)
+            };
+            for inp in &node.inputs {
+                remaining_uses[inp.index()] -= 1;
+                if remaining_uses[inp.index()] == 0 && *inp != self.input_id() {
+                    tangents[inp.index()] = None;
+                }
+            }
+            tangents[idx] = Some(out);
+        }
+
+        let bundle = if target == self.input_id() {
+            tangents[target.index()].clone().expect("input tangent")
+        } else {
+            tangents[target.index()].take().expect("target tangent")
+        };
+        // (P, size) → (size, P).
+        bundle.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::key::{KeyAssignment, KeySlot, UnitLayout};
+    use relock_tensor::rng::Prng;
+
+    /// A small 2-layer locked MLP for exercising the machinery.
+    fn toy_graph() -> (Graph, KeyAssignment) {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(4);
+        let l1 = gb
+            .add(
+                Op::Linear {
+                    w: rng.normal_tensor([6, 4]),
+                    b: rng.normal_tensor([6]),
+                    weight_locks: vec![],
+                },
+                &[x],
+            )
+            .unwrap();
+        let k1 = gb
+            .add(
+                Op::KeyedSign {
+                    layout: UnitLayout::scalar(6),
+                    slots: vec![Some(KeySlot(0)), None, Some(KeySlot(1)), None, None, None],
+                },
+                &[l1],
+            )
+            .unwrap();
+        let r1 = gb.add(Op::Relu, &[k1]).unwrap();
+        let l2 = gb
+            .add(
+                Op::Linear {
+                    w: rng.normal_tensor([3, 6]),
+                    b: rng.normal_tensor([3]),
+                    weight_locks: vec![],
+                },
+                &[r1],
+            )
+            .unwrap();
+        let g = gb.build(l2).unwrap();
+        let keys = KeyAssignment::from_bits(&[true, false]);
+        (g, keys)
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample() {
+        let (g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(8);
+        let xb = rng.normal_tensor([5, 4]);
+        let batch_out = g.logits_batch(&xb, &keys);
+        for s in 0..5 {
+            let single = g.logits(&Tensor::from_slice(xb.row(s)), &keys);
+            assert!(
+                single.max_abs_diff(&Tensor::from_slice(batch_out.row(s))) < 1e-12,
+                "sample {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_on_params() {
+        let (mut g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(9);
+        let x = rng.normal_tensor([2, 4]);
+        // Loss = sum of logits; grad_out = ones.
+        let acts = g.forward(&x, &keys);
+        let ones = Tensor::ones([2, 3]);
+        let grads = g.backward(&acts, &ones, &keys);
+
+        let param_nodes = g.param_nodes();
+        for node in param_nodes {
+            let (w_grad, _) = grads.params[node.index()].clone().expect("param grad");
+            // Probe two weight entries with central differences.
+            for probe in [0usize, w_grad.numel() - 1] {
+                let eps = 1e-6;
+                let orig = {
+                    let (w, _) = g.params_mut(node).unwrap();
+                    let v = w.as_slice()[probe];
+                    w.as_mut_slice()[probe] = v + eps;
+                    v
+                };
+                let up = g.logits_batch(&x, &keys).sum();
+                {
+                    let (w, _) = g.params_mut(node).unwrap();
+                    w.as_mut_slice()[probe] = orig - eps;
+                }
+                let down = g.logits_batch(&x, &keys).sum();
+                {
+                    let (w, _) = g.params_mut(node).unwrap();
+                    w.as_mut_slice()[probe] = orig;
+                }
+                let fd = (up - down) / (2.0 * eps);
+                let an = w_grad.as_slice()[probe];
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                    "node {node}: fd {fd} vs an {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_key_grads_match_finite_differences() {
+        let (g, _) = toy_graph();
+        let mut keys = KeyAssignment::from_values(vec![0.3, -0.7]);
+        let mut rng = Prng::seed_from_u64(10);
+        let x = rng.normal_tensor([3, 4]);
+        let acts = g.forward(&x, &keys);
+        let ones = Tensor::ones([3, 3]);
+        let grads = g.backward(&acts, &ones, &keys);
+        for slot in 0..2 {
+            let eps = 1e-6;
+            let orig = keys.values()[slot];
+            keys.values_mut()[slot] = orig + eps;
+            let up = g.logits_batch(&x, &keys).sum();
+            keys.values_mut()[slot] = orig - eps;
+            let down = g.logits_batch(&x, &keys).sum();
+            keys.values_mut()[slot] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grads.keys[slot]).abs() < 1e-6 * (1.0 + fd.abs()),
+                "slot {slot}: fd {fd} vs an {}",
+                grads.keys[slot]
+            );
+        }
+    }
+
+    #[test]
+    fn input_jacobian_matches_finite_differences() {
+        let (g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(11);
+        let x = rng.normal_tensor([4]);
+        let acts = g.forward(&x, &keys);
+        let target = g.output_id();
+        let jac = g.input_jacobian(&acts, target, &keys);
+        assert_eq!(jac.dims(), &[3, 4]);
+        let eps = 1e-7;
+        for col in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[col] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[col] -= eps;
+            let up = g.logits(&xp, &keys);
+            let down = g.logits(&xm, &keys);
+            for row in 0..3 {
+                let fd = (up.as_slice()[row] - down.as_slice()[row]) / (2.0 * eps);
+                let an = jac.get2(row, col);
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                    "({row},{col}): fd {fd} vs an {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_of_intermediate_node_has_right_shape() {
+        let (g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(12);
+        let x = rng.normal_tensor([4]);
+        let acts = g.forward(&x, &keys);
+        // Node 1 is the first linear layer (6 outputs).
+        let jac = g.input_jacobian(&acts, NodeId(1), &keys);
+        assert_eq!(jac.dims(), &[6, 4]);
+        // For the first layer Â is exactly W (no preceding nonlinearity).
+        if let Op::Linear { w, .. } = &g.node(NodeId(1)).op {
+            assert!(jac.max_abs_diff(w) < 1e-12);
+        } else {
+            panic!("node 1 should be linear");
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Graph structure and builder.
+
+use crate::key::{KeySlot, UnitLayout};
+use crate::op::Op;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a node within a [`Graph`]. Nodes are stored in topological
+/// order, so `NodeId` values are also a valid evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node: an operator plus the IDs of its inputs.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Input nodes, in operator order.
+    pub inputs: Vec<NodeId>,
+    /// Cached output size.
+    pub out_size: usize,
+}
+
+/// Errors raised while constructing a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator rejected its input sizes or configuration.
+    BadOp(String),
+    /// An input `NodeId` does not refer to an existing node.
+    UnknownNode(NodeId),
+    /// The graph has no input node, or more than one.
+    InputCount(usize),
+    /// A key slot is used by more than one lock unit.
+    DuplicateKeySlot(KeySlot),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadOp(msg) => write!(f, "invalid operator: {msg}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown input node {id}"),
+            GraphError::InputCount(n) => write!(f, "graph must have exactly 1 input, found {n}"),
+            GraphError::DuplicateKeySlot(s) => write!(f, "key slot {s} used more than once"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One HPNN-style lock site: a protected *unit* (neuron or channel) whose
+/// key bit the attack wants to recover.
+///
+/// `pre_node` is the node producing the pre-activation that the keyed op
+/// transforms — the quantity whose zero set is the unit's hyperplane
+/// (paper §3.2, which is invariant under the flip itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockSite {
+    /// The keyed operator node.
+    pub keyed_node: NodeId,
+    /// The node feeding the keyed operator (the raw pre-activation).
+    pub pre_node: NodeId,
+    /// Unit index within the keyed op's layout.
+    pub unit: usize,
+    /// The controlling key slot.
+    pub slot: KeySlot,
+    /// The keyed op's unit layout.
+    pub layout: UnitLayout,
+}
+
+impl LockSite {
+    /// A representative flat element index of the unit (its first element);
+    /// the scalar pre-activation the attack's critical-point search tracks.
+    pub fn scalar_index(&self) -> usize {
+        self.layout.element(self.unit, 0)
+    }
+}
+
+/// An immutable computation graph: a DAG of [`Op`]s over a single input.
+///
+/// Build one with [`GraphBuilder`]:
+///
+/// ```
+/// use relock_graph::{GraphBuilder, Op, KeyAssignment};
+/// use relock_tensor::Tensor;
+///
+/// let mut gb = GraphBuilder::new();
+/// let x = gb.input(2);
+/// let h = gb.add(Op::Linear {
+///     w: Tensor::from_rows(&[&[1.0, 1.0]]),
+///     b: Tensor::zeros([1]),
+///     weight_locks: vec![],
+/// }, &[x])?;
+/// let g = gb.build(h)?;
+/// let y = g.logits(&Tensor::from_slice(&[2.0, 3.0]), &KeyAssignment::all_zero_bits(0));
+/// assert_eq!(y.as_slice(), &[5.0]);
+/// # Ok::<(), relock_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) input: NodeId,
+    pub(crate) output: NodeId,
+    pub(crate) key_slots: usize,
+}
+
+impl Graph {
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node behind an ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The unique input node.
+    pub fn input_id(&self) -> NodeId {
+        self.input
+    }
+
+    /// The designated output node.
+    pub fn output_id(&self) -> NodeId {
+        self.output
+    }
+
+    /// Input dimensionality `P`.
+    pub fn input_size(&self) -> usize {
+        self.nodes[self.input.0].out_size
+    }
+
+    /// Output dimensionality `Q` (number of logits).
+    pub fn output_size(&self) -> usize {
+        self.nodes[self.output.0].out_size
+    }
+
+    /// Number of key slots the graph consults.
+    pub fn key_slot_count(&self) -> usize {
+        self.key_slots
+    }
+
+    /// Mutable access to a node's `(weight, bias)` parameters, if it has any.
+    pub fn params_mut(
+        &mut self,
+        id: NodeId,
+    ) -> Option<(&mut relock_tensor::Tensor, &mut relock_tensor::Tensor)> {
+        self.nodes[id.0].op.params_mut()
+    }
+
+    /// IDs of all nodes that carry learnable parameters.
+    pub fn param_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op.params().is_some())
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.op.params())
+            .map(|(w, b)| w.numel() + b.numel())
+            .sum()
+    }
+
+    /// Enumerates every pre-activation lock site (HPNN flipping units and
+    /// the multiplicative variant), in node order then unit order.
+    ///
+    /// §3.9(b) weight locks are *not* sites in this sense; see
+    /// [`Graph::weight_lock_slots`].
+    pub fn lock_sites(&self) -> Vec<LockSite> {
+        let mut sites = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (layout, slots) = match &n.op {
+                Op::KeyedSign { layout, slots } => (layout, slots),
+                Op::KeyedScale { layout, slots, .. } => (layout, slots),
+                _ => continue,
+            };
+            for (u, slot) in slots.iter().enumerate() {
+                if let Some(slot) = slot {
+                    sites.push(LockSite {
+                        keyed_node: NodeId(i),
+                        pre_node: n.inputs[0],
+                        unit: u,
+                        slot: *slot,
+                        layout: *layout,
+                    });
+                }
+            }
+        }
+        sites
+    }
+
+    /// Key slots consumed by §3.9(b) weight-element locks, with their node.
+    pub fn weight_lock_slots(&self) -> Vec<(NodeId, KeySlot)> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Op::Linear { weight_locks, .. } = &n.op {
+                for l in weight_locks {
+                    out.push((NodeId(i), l.slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// The direct consumers of each node, indexed by node.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut c = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for inp in &n.inputs {
+                c[inp.0].push(NodeId(i));
+            }
+        }
+        c
+    }
+
+    /// The set of nodes that can reach `target` (inclusive), i.e. its
+    /// ancestors in the DAG.
+    pub fn ancestors_of(&self, target: NodeId) -> HashSet<NodeId> {
+        let mut set = HashSet::new();
+        let mut stack = vec![target];
+        while let Some(id) = stack.pop() {
+            if set.insert(id) {
+                stack.extend(self.nodes[id.0].inputs.iter().copied());
+            }
+        }
+        set
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    input: Option<NodeId>,
+    used_slots: HashSet<KeySlot>,
+    max_slot: Option<usize>,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Declares the (single) network input of dimension `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input was already declared.
+    pub fn input(&mut self, size: usize) -> NodeId {
+        assert!(self.input.is_none(), "graph already has an input node");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            op: Op::Input { size },
+            inputs: Vec::new(),
+            out_size: size,
+        });
+        self.input = Some(id);
+        id
+    }
+
+    /// Appends an operator consuming `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for dangling inputs,
+    /// [`GraphError::BadOp`] when the op rejects the input sizes, and
+    /// [`GraphError::DuplicateKeySlot`] when a key slot is reused.
+    pub fn add(&mut self, op: Op, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        let mut sizes = Vec::with_capacity(inputs.len());
+        for &i in inputs {
+            let node = self.nodes.get(i.0).ok_or(GraphError::UnknownNode(i))?;
+            sizes.push(node.out_size);
+        }
+        let out_size = op.infer_out_size(&sizes).map_err(GraphError::BadOp)?;
+        for slot in op.key_slots() {
+            if !self.used_slots.insert(slot) {
+                return Err(GraphError::DuplicateKeySlot(slot));
+            }
+            self.max_slot = Some(self.max_slot.map_or(slot.index(), |m| m.max(slot.index())));
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            op,
+            inputs: inputs.to_vec(),
+            out_size,
+        });
+        Ok(id)
+    }
+
+    /// Output size of an already-added node (handy while building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ID is out of range.
+    pub fn out_size(&self, id: NodeId) -> usize {
+        self.nodes[id.0].out_size
+    }
+
+    /// Finalizes the graph with `output` as the designated output node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputCount`] if no input was declared and
+    /// [`GraphError::UnknownNode`] if `output` is dangling.
+    pub fn build(self, output: NodeId) -> Result<Graph, GraphError> {
+        let input = self.input.ok_or(GraphError::InputCount(0))?;
+        if output.0 >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(output));
+        }
+        let key_slots = self.max_slot.map_or(0, |m| m + 1);
+        Ok(Graph {
+            nodes: self.nodes,
+            input,
+            output,
+            key_slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyAssignment;
+    use relock_tensor::Tensor;
+
+    #[test]
+    fn builder_checks_sizes() {
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(3);
+        let bad = gb.add(
+            Op::Linear {
+                w: Tensor::zeros([2, 4]),
+                b: Tensor::zeros([2]),
+                weight_locks: vec![],
+            },
+            &[x],
+        );
+        assert!(matches!(bad, Err(GraphError::BadOp(_))));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_slots() {
+        use crate::key::{KeySlot, UnitLayout};
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        gb.add(
+            Op::KeyedSign {
+                layout: UnitLayout::scalar(2),
+                slots: vec![Some(KeySlot(0)), None],
+            },
+            &[x],
+        )
+        .unwrap();
+        let dup = gb.add(
+            Op::KeyedSign {
+                layout: UnitLayout::scalar(2),
+                slots: vec![Some(KeySlot(0)), None],
+            },
+            &[x],
+        );
+        assert!(matches!(dup, Err(GraphError::DuplicateKeySlot(_))));
+    }
+
+    #[test]
+    fn lock_sites_enumeration() {
+        use crate::key::{KeySlot, UnitLayout};
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        let lin = gb
+            .add(
+                Op::Linear {
+                    w: Tensor::zeros([3, 2]),
+                    b: Tensor::zeros([3]),
+                    weight_locks: vec![],
+                },
+                &[x],
+            )
+            .unwrap();
+        let lock = gb
+            .add(
+                Op::KeyedSign {
+                    layout: UnitLayout::scalar(3),
+                    slots: vec![Some(KeySlot(1)), None, Some(KeySlot(0))],
+                },
+                &[lin],
+            )
+            .unwrap();
+        let g = gb.build(lock).unwrap();
+        let sites = g.lock_sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].unit, 0);
+        assert_eq!(sites[0].slot, KeySlot(1));
+        assert_eq!(sites[0].pre_node, lin);
+        assert_eq!(g.key_slot_count(), 2);
+    }
+
+    #[test]
+    fn simple_graph_evaluates() {
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        let h = gb
+            .add(
+                Op::Linear {
+                    w: Tensor::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]),
+                    b: Tensor::from_slice(&[0.0, 1.0]),
+                    weight_locks: vec![],
+                },
+                &[x],
+            )
+            .unwrap();
+        let r = gb.add(Op::Relu, &[h]).unwrap();
+        let g = gb.build(r).unwrap();
+        let y = g.logits(
+            &Tensor::from_slice(&[1.0, 2.0]),
+            &KeyAssignment::all_zero_bits(0),
+        );
+        assert_eq!(y.as_slice(), &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn ancestors_of_residual_join() {
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        let a = gb
+            .add(
+                Op::Linear {
+                    w: Tensor::eye(2),
+                    b: Tensor::zeros([2]),
+                    weight_locks: vec![],
+                },
+                &[x],
+            )
+            .unwrap();
+        let sum = gb.add(Op::Add, &[a, x]).unwrap();
+        let g = gb.build(sum).unwrap();
+        let anc = g.ancestors_of(sum);
+        assert_eq!(anc.len(), 3);
+        assert!(anc.contains(&x) && anc.contains(&a) && anc.contains(&sum));
+    }
+}

@@ -1,0 +1,265 @@
+//! Key slots, key assignments, and lock-unit layouts.
+//!
+//! HPNN associates one binary key bit with each protected neuron (paper
+//! Eq. 1): the *row sign* `(-1)^K` multiplies the neuron's pre-activation.
+//! The graph crate represents keys as **continuous multipliers** `m ∈ [-1,1]`
+//! with the convention
+//!
+//! > `m = +1 ⇔ K = 0` (identity), `m = −1 ⇔ K = 1` (flip),
+//!
+//! which is exactly the continuous relaxation the paper's learning-based
+//! attack (§3.6) trains over. Discrete evaluation simply assigns ±1.
+
+use std::fmt;
+
+/// Index of one key bit within a graph's key vector.
+///
+/// ```
+/// use relock_graph::KeySlot;
+/// let s = KeySlot(3);
+/// assert_eq!(s.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeySlot(pub usize);
+
+impl KeySlot {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for KeySlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A full assignment of continuous multipliers to every key slot of a graph.
+///
+/// Use [`KeyAssignment::from_bits`] for a discrete key and
+/// [`KeyAssignment::neutral`] for the all-zero (uninformative) relaxation
+/// starting point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyAssignment {
+    values: Vec<f64>,
+}
+
+impl KeyAssignment {
+    /// An assignment of `n` multipliers, all `+1` (every bit 0).
+    pub fn all_zero_bits(n: usize) -> Self {
+        KeyAssignment {
+            values: vec![1.0; n],
+        }
+    }
+
+    /// An assignment of `n` multipliers, all `0` — the neutral relaxation
+    /// used to initialize the learning attack.
+    pub fn neutral(n: usize) -> Self {
+        KeyAssignment {
+            values: vec![0.0; n],
+        }
+    }
+
+    /// Builds a discrete assignment from key bits: bit `0 → +1`, `1 → −1`.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        KeyAssignment {
+            values: bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect(),
+        }
+    }
+
+    /// Builds an assignment from raw multipliers.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        KeyAssignment { values }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The multiplier for a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn multiplier(&self, slot: KeySlot) -> f64 {
+        self.values[slot.0]
+    }
+
+    /// Sets a slot's multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn set(&mut self, slot: KeySlot, m: f64) {
+        self.values[slot.0] = m;
+    }
+
+    /// Sets a slot from a discrete bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn set_bit(&mut self, slot: KeySlot, bit: bool) {
+        self.values[slot.0] = if bit { -1.0 } else { 1.0 };
+    }
+
+    /// Rounds every multiplier to a discrete bit: negative → 1, else → 0.
+    pub fn to_bits(&self) -> Vec<bool> {
+        self.values.iter().map(|&m| m < 0.0).collect()
+    }
+
+    /// The raw multipliers.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The raw multipliers, mutable.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+}
+
+/// How the elements of a locked node's output are grouped into *units* that
+/// share one key bit.
+///
+/// HPNN's original form locks individual fully-connected neurons (one unit =
+/// one scalar). The §3.9(c) generalization locks convolutional channels (one
+/// unit = all spatial positions of a channel) and, in our ReLU-ViT, MLP
+/// channels shared across tokens (one unit = the same feature in every
+/// token, a strided set). All three are instances of
+///
+/// `element(u, e) = u * unit_stride + e * elem_stride`, `e ∈ 0..unit_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitLayout {
+    /// Number of lockable units.
+    pub n_units: usize,
+    /// Elements per unit.
+    pub unit_len: usize,
+    /// Stride between consecutive units' first elements.
+    pub unit_stride: usize,
+    /// Stride between consecutive elements inside a unit.
+    pub elem_stride: usize,
+}
+
+impl UnitLayout {
+    /// One unit per scalar (fully-connected locking).
+    pub fn scalar(n: usize) -> Self {
+        UnitLayout {
+            n_units: n,
+            unit_len: 1,
+            unit_stride: 1,
+            elem_stride: 0,
+        }
+    }
+
+    /// One unit per channel of a `channels × positions` channel-major map
+    /// (convolutional locking, §3.9c).
+    pub fn channel_major(channels: usize, positions: usize) -> Self {
+        UnitLayout {
+            n_units: channels,
+            unit_len: positions,
+            unit_stride: positions,
+            elem_stride: 1,
+        }
+    }
+
+    /// One unit per feature of a `tokens × dim` token-major map (transformer
+    /// MLP locking: the same feature across all tokens).
+    pub fn token_feature(tokens: usize, dim: usize) -> Self {
+        UnitLayout {
+            n_units: dim,
+            unit_len: tokens,
+            unit_stride: 1,
+            elem_stride: dim,
+        }
+    }
+
+    /// Flat element index of element `e` of unit `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `u` or `e` are out of range.
+    #[inline]
+    pub fn element(&self, u: usize, e: usize) -> usize {
+        debug_assert!(u < self.n_units && e < self.unit_len);
+        u * self.unit_stride + e * self.elem_stride
+    }
+
+    /// Total vector length this layout covers (max element index + 1).
+    pub fn required_len(&self) -> usize {
+        if self.n_units == 0 {
+            return 0;
+        }
+        let last = self.element(
+            self.n_units - 1,
+            if self.unit_len == 0 {
+                0
+            } else {
+                self.unit_len - 1
+            },
+        );
+        last + 1
+    }
+
+    /// Iterates the flat element indices of unit `u`.
+    pub fn unit_elements(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.unit_len).map(move |e| self.element(u, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bits_round_trip() {
+        let bits = vec![true, false, true, true, false];
+        let ka = KeyAssignment::from_bits(&bits);
+        assert_eq!(ka.to_bits(), bits);
+        assert_eq!(ka.multiplier(KeySlot(0)), -1.0);
+        assert_eq!(ka.multiplier(KeySlot(1)), 1.0);
+    }
+
+    #[test]
+    fn scalar_layout_indexing() {
+        let l = UnitLayout::scalar(5);
+        assert_eq!(l.element(3, 0), 3);
+        assert_eq!(l.required_len(), 5);
+        assert_eq!(l.unit_elements(2).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn channel_layout_indexing() {
+        let l = UnitLayout::channel_major(3, 4);
+        assert_eq!(l.unit_elements(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        assert_eq!(l.required_len(), 12);
+    }
+
+    #[test]
+    fn token_feature_layout_indexing() {
+        let l = UnitLayout::token_feature(3, 4); // 3 tokens, dim 4
+        assert_eq!(l.unit_elements(2).collect::<Vec<_>>(), vec![2, 6, 10]);
+        assert_eq!(l.required_len(), 12);
+        // All units together cover each element at most once.
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..l.n_units {
+            for e in l.unit_elements(u) {
+                assert!(seen.insert(e), "element {e} covered twice");
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn neutral_assignment_rounds_to_zero_bits() {
+        let ka = KeyAssignment::neutral(4);
+        assert_eq!(ka.to_bits(), vec![false; 4]);
+    }
+}

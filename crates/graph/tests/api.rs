@@ -1,0 +1,179 @@
+//! API-level integration tests of the graph crate: partial evaluation,
+//! consumer maps, and error surfaces.
+
+use relock_graph::{
+    Graph, GraphBuilder, GraphError, KeyAssignment, KeySlot, NodeId, Op, UnitLayout,
+};
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+fn residual_toy(rng: &mut Prng) -> Graph {
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(4);
+    let a = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([4, 4]),
+                b: rng.normal_tensor([4]),
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap();
+    let k = gb
+        .add(
+            Op::KeyedSign {
+                layout: UnitLayout::scalar(4),
+                slots: vec![Some(KeySlot(0)), None, None, None],
+            },
+            &[a],
+        )
+        .unwrap();
+    let r = gb.add(Op::Relu, &[k]).unwrap();
+    let join = gb.add(Op::Add, &[r, x]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([2, 4]),
+                b: rng.normal_tensor([2]),
+                weight_locks: vec![],
+            },
+            &[join],
+        )
+        .unwrap();
+    gb.build(out).unwrap()
+}
+
+#[test]
+fn forward_partial_matches_full_forward_on_ancestors() {
+    let mut rng = Prng::seed_from_u64(2000);
+    let g = residual_toy(&mut rng);
+    let keys = KeyAssignment::from_bits(&[true]);
+    let x = rng.normal_tensor([3, 4]);
+    let full = g.forward(&x, &keys);
+    // Partial evaluation up to the residual join (node 4).
+    let target = NodeId(4);
+    let partial = g.forward_partial(&x, &keys, target);
+    for id in g.ancestors_of(target) {
+        assert_eq!(
+            full.value(id).as_slice(),
+            partial.value(id).as_slice(),
+            "node {id} differs between full and partial evaluation"
+        );
+    }
+}
+
+#[test]
+fn eval_node_returns_the_requested_value() {
+    let mut rng = Prng::seed_from_u64(2001);
+    let g = residual_toy(&mut rng);
+    let keys = KeyAssignment::from_bits(&[false]);
+    let x = rng.normal_tensor([2, 4]);
+    let direct = g.eval_node(&x, &keys, NodeId(1));
+    let full = g.forward(&x, &keys);
+    assert_eq!(direct.as_slice(), full.value(NodeId(1)).as_slice());
+}
+
+#[test]
+fn consumers_map_is_complete_and_acyclic() {
+    let mut rng = Prng::seed_from_u64(2002);
+    let g = residual_toy(&mut rng);
+    let consumers = g.consumers();
+    // The input feeds the first linear AND the residual join.
+    assert_eq!(consumers[g.input_id().index()].len(), 2);
+    // Every edge points forward (topological order).
+    for (i, cs) in consumers.iter().enumerate() {
+        for c in cs {
+            assert!(c.index() > i, "edge {i}→{c} goes backwards");
+        }
+    }
+    // The output node feeds nothing.
+    assert!(consumers[g.output_id().index()].is_empty());
+}
+
+#[test]
+fn param_count_matches_hand_count() {
+    let mut rng = Prng::seed_from_u64(2003);
+    let g = residual_toy(&mut rng);
+    // Two linear layers: 4×4+4 and 2×4+2.
+    assert_eq!(g.param_count(), 16 + 4 + 8 + 2);
+    assert_eq!(g.param_nodes().len(), 2);
+}
+
+#[test]
+fn graph_errors_have_readable_messages() {
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(2);
+    let err = gb
+        .add(
+            Op::Linear {
+                w: Tensor::zeros([2, 3]),
+                b: Tensor::zeros([2]),
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("invalid operator"), "{msg}");
+    let dangle = GraphError::UnknownNode(NodeId(9)).to_string();
+    assert!(dangle.contains("n9"), "{dangle}");
+}
+
+#[test]
+fn logits_and_logits_batch_agree() {
+    let mut rng = Prng::seed_from_u64(2004);
+    let g = residual_toy(&mut rng);
+    let keys = KeyAssignment::from_bits(&[true]);
+    let xb = rng.normal_tensor([4, 4]);
+    let batch = g.logits_batch(&xb, &keys);
+    for s in 0..4 {
+        let single = g.logits(&Tensor::from_slice(xb.row(s)), &keys);
+        assert_eq!(single.as_slice(), batch.row(s));
+    }
+}
+
+#[test]
+fn key_assignment_mutators() {
+    let mut ka = KeyAssignment::neutral(3);
+    assert_eq!(ka.len(), 3);
+    assert!(!ka.is_empty());
+    ka.set(KeySlot(1), 0.5);
+    assert_eq!(ka.multiplier(KeySlot(1)), 0.5);
+    ka.set_bit(KeySlot(1), true);
+    assert_eq!(ka.multiplier(KeySlot(1)), -1.0);
+    ka.values_mut()[2] = -0.25;
+    assert_eq!(ka.to_bits(), vec![false, true, true]);
+}
+
+#[test]
+fn lock_site_scalar_index_for_channel_layout() {
+    let mut rng = Prng::seed_from_u64(2005);
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(8);
+    let lin = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([6, 8]),
+                b: rng.normal_tensor([6]),
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap();
+    let keyed = gb
+        .add(
+            Op::KeyedSign {
+                layout: UnitLayout::channel_major(2, 3),
+                slots: vec![None, Some(KeySlot(0))],
+            },
+            &[lin],
+        )
+        .unwrap();
+    let g = gb.build(keyed).unwrap();
+    let sites = g.lock_sites();
+    assert_eq!(sites.len(), 1);
+    assert_eq!(sites[0].unit, 1);
+    // Channel 1 of a (2 channels × 3 positions) map starts at element 3.
+    assert_eq!(sites[0].scalar_index(), 3);
+}

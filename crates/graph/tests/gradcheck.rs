@@ -1,0 +1,368 @@
+//! Finite-difference gradient checks for every operator family.
+//!
+//! The inline unit tests cover the MLP path; these integration tests build
+//! small graphs around the convolution/pooling and attention/layer-norm
+//! paths and verify (a) parameter gradients, (b) key-multiplier gradients,
+//! and (c) the forward-mode input Jacobian against central differences.
+
+use relock_graph::{Graph, GraphBuilder, KeyAssignment, KeySlot, NodeId, Op, UnitLayout};
+use relock_tensor::im2col::ConvGeometry;
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+/// Builds conv → channel-lock → relu → maxpool → avgpool-ish → linear.
+fn conv_graph(rng: &mut Prng) -> Graph {
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(2 * 6 * 6);
+    let geom = ConvGeometry {
+        in_channels: 2,
+        in_h: 6,
+        in_w: 6,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let conv = gb
+        .add(
+            Op::Conv2d {
+                w: rng.normal_tensor([3, geom.patch_len()]).scale(0.4),
+                b: rng.normal_tensor([3]).scale(0.2),
+                geom,
+            },
+            &[x],
+        )
+        .unwrap();
+    let keyed = gb
+        .add(
+            Op::KeyedSign {
+                layout: UnitLayout::channel_major(3, 36),
+                slots: vec![Some(KeySlot(0)), None, Some(KeySlot(1))],
+            },
+            &[conv],
+        )
+        .unwrap();
+    let relu = gb.add(Op::Relu, &[keyed]).unwrap();
+    let pool = gb
+        .add(
+            Op::MaxPool2d {
+                channels: 3,
+                in_h: 6,
+                in_w: 6,
+                k: 2,
+                stride: 2,
+            },
+            &[relu],
+        )
+        .unwrap();
+    let gap = gb
+        .add(
+            Op::AvgPoolGlobal {
+                channels: 3,
+                positions: 9,
+            },
+            &[pool],
+        )
+        .unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([2, 3]),
+                b: rng.normal_tensor([2]),
+                weight_locks: vec![],
+            },
+            &[gap],
+        )
+        .unwrap();
+    gb.build(out).unwrap()
+}
+
+/// Builds a one-block attention graph: LN → Q/K/V → attention → proj →
+/// residual add → token-feature lock → relu → mean pool → linear.
+fn attention_graph(rng: &mut Prng) -> Graph {
+    let (tokens, dim, heads) = (4usize, 6usize, 2usize);
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(tokens * dim);
+    let ln = gb
+        .add(
+            Op::LayerNorm {
+                tokens,
+                dim,
+                gamma: rng.uniform_tensor([dim], 0.5, 1.5),
+                beta: rng.normal_tensor([dim]).scale(0.1),
+            },
+            &[x],
+        )
+        .unwrap();
+    let mk_lin = |gb: &mut GraphBuilder, rng: &mut Prng, input| {
+        gb.add(
+            Op::TokenLinear {
+                tokens,
+                w: rng.normal_tensor([dim, dim]).scale(0.5),
+                b: rng.normal_tensor([dim]).scale(0.1),
+            },
+            &[input],
+        )
+        .unwrap()
+    };
+    let q = mk_lin(&mut gb, rng, ln);
+    let k = mk_lin(&mut gb, rng, ln);
+    let v = mk_lin(&mut gb, rng, ln);
+    let attn = gb
+        .add(
+            Op::Attention {
+                tokens,
+                heads,
+                head_dim: dim / heads,
+            },
+            &[q, k, v],
+        )
+        .unwrap();
+    let proj = mk_lin(&mut gb, rng, attn);
+    let res = gb.add(Op::Add, &[x, proj]).unwrap();
+    let keyed = gb
+        .add(
+            Op::KeyedSign {
+                layout: UnitLayout::token_feature(tokens, dim),
+                slots: vec![Some(KeySlot(0)), None, None, Some(KeySlot(1)), None, None],
+            },
+            &[res],
+        )
+        .unwrap();
+    let relu = gb.add(Op::Relu, &[keyed]).unwrap();
+    let pooled = gb.add(Op::MeanTokens { tokens, dim }, &[relu]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([3, dim]),
+                b: rng.normal_tensor([3]),
+                weight_locks: vec![],
+            },
+            &[pooled],
+        )
+        .unwrap();
+    gb.build(out).unwrap()
+}
+
+fn check_param_grads(g: &mut Graph, keys: &KeyAssignment, x: &Tensor, probes: usize, seed: u64) {
+    let acts = g.forward(x, keys);
+    let out_dims = acts.value(g.output_id()).dims().to_vec();
+    let ones = Tensor::ones(out_dims);
+    let grads = g.backward(&acts, &ones, keys);
+    let mut rng = Prng::seed_from_u64(seed);
+    for node in g.param_nodes() {
+        let Some((gw, gb)) = grads.params[node.index()].clone() else {
+            continue;
+        };
+        for which in 0..2u8 {
+            let (grad, len) = if which == 0 {
+                (&gw, gw.numel())
+            } else {
+                (&gb, gb.numel())
+            };
+            for _ in 0..probes {
+                let idx = rng.below(len);
+                let eps = 1e-6;
+                let orig = {
+                    let (w, b) = g.params_mut(node).unwrap();
+                    let t = if which == 0 { w } else { b };
+                    let v = t.as_slice()[idx];
+                    t.as_mut_slice()[idx] = v + eps;
+                    v
+                };
+                let up = g.logits_batch(x, keys).sum();
+                {
+                    let (w, b) = g.params_mut(node).unwrap();
+                    let t = if which == 0 { w } else { b };
+                    t.as_mut_slice()[idx] = orig - eps;
+                }
+                let down = g.logits_batch(x, keys).sum();
+                {
+                    let (w, b) = g.params_mut(node).unwrap();
+                    let t = if which == 0 { w } else { b };
+                    t.as_mut_slice()[idx] = orig;
+                }
+                let fd = (up - down) / (2.0 * eps);
+                let an = grad.as_slice()[idx];
+                assert!(
+                    (fd - an).abs() < 2e-5 * (1.0 + an.abs()),
+                    "node {node} param {which} idx {idx}: fd {fd} vs an {an}"
+                );
+            }
+        }
+    }
+}
+
+fn check_key_grads(g: &Graph, keys: &mut KeyAssignment, x: &Tensor) {
+    let acts = g.forward(x, keys);
+    let out_dims = acts.value(g.output_id()).dims().to_vec();
+    let ones = Tensor::ones(out_dims);
+    let grads = g.backward(&acts, &ones, keys);
+    for slot in 0..keys.len() {
+        let eps = 1e-6;
+        let orig = keys.values()[slot];
+        keys.values_mut()[slot] = orig + eps;
+        let up = g.logits_batch(x, keys).sum();
+        keys.values_mut()[slot] = orig - eps;
+        let down = g.logits_batch(x, keys).sum();
+        keys.values_mut()[slot] = orig;
+        let fd = (up - down) / (2.0 * eps);
+        assert!(
+            (fd - grads.keys[slot]).abs() < 2e-5 * (1.0 + fd.abs()),
+            "slot {slot}: fd {fd} vs an {}",
+            grads.keys[slot]
+        );
+    }
+}
+
+fn check_input_jacobian(g: &Graph, keys: &KeyAssignment, x: &Tensor, target: NodeId) {
+    let acts = g.forward(x, keys);
+    let jac = g.input_jacobian(&acts, target, keys);
+    let rows = g.node(target).out_size;
+    let p = x.numel();
+    assert_eq!(jac.dims(), &[rows, p]);
+    let eps = 1e-6;
+    let mut rng = Prng::seed_from_u64(7);
+    for _ in 0..12 {
+        let (r, c) = (rng.below(rows), rng.below(p));
+        let mut xp = x.clone();
+        xp.as_mut_slice()[c] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[c] -= eps;
+        let up = g.eval_node(&xp.reshape([1, p]), keys, target);
+        let down = g.eval_node(&xm.reshape([1, p]), keys, target);
+        let fd = (up.as_slice()[r] - down.as_slice()[r]) / (2.0 * eps);
+        let an = jac.get2(r, c);
+        assert!(
+            (fd - an).abs() < 2e-5 * (1.0 + an.abs()),
+            "({r},{c}): fd {fd} vs an {an}"
+        );
+    }
+}
+
+#[test]
+fn conv_path_param_and_key_gradients() {
+    let mut rng = Prng::seed_from_u64(300);
+    let mut g = conv_graph(&mut rng);
+    let mut keys = KeyAssignment::from_values(vec![0.6, -0.4]);
+    let x = rng.normal_tensor([2, 72]);
+    check_param_grads(&mut g, &keys.clone(), &x, 3, 301);
+    check_key_grads(&g, &mut keys, &x);
+}
+
+#[test]
+fn conv_path_input_jacobian() {
+    let mut rng = Prng::seed_from_u64(310);
+    let g = conv_graph(&mut rng);
+    let keys = KeyAssignment::from_bits(&[true, false]);
+    let x = rng.normal_tensor([72]);
+    // Jacobian of the conv pre-activation (node 1) and the final output.
+    check_input_jacobian(&g, &keys, &x, NodeId(1));
+    check_input_jacobian(&g, &keys, &x, g.output_id());
+}
+
+#[test]
+fn attention_path_param_and_key_gradients() {
+    let mut rng = Prng::seed_from_u64(320);
+    let mut g = attention_graph(&mut rng);
+    let mut keys = KeyAssignment::from_values(vec![-0.7, 0.3]);
+    let x = rng.normal_tensor([2, 24]);
+    check_param_grads(&mut g, &keys.clone(), &x, 3, 321);
+    check_key_grads(&g, &mut keys, &x);
+}
+
+#[test]
+fn attention_path_input_jacobian() {
+    let mut rng = Prng::seed_from_u64(330);
+    let g = attention_graph(&mut rng);
+    let keys = KeyAssignment::from_bits(&[false, true]);
+    let x = rng.normal_tensor([24]);
+    check_input_jacobian(&g, &keys, &x, g.output_id());
+}
+
+#[test]
+fn keyed_scale_gradients() {
+    let mut rng = Prng::seed_from_u64(340);
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(5);
+    let lin = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([4, 5]),
+                b: rng.normal_tensor([4]),
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap();
+    let keyed = gb
+        .add(
+            Op::KeyedScale {
+                layout: UnitLayout::scalar(4),
+                slots: vec![Some(KeySlot(0)), None, Some(KeySlot(1)), None],
+                factor: 0.25,
+            },
+            &[lin],
+        )
+        .unwrap();
+    let relu = gb.add(Op::Relu, &[keyed]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([2, 4]),
+                b: rng.normal_tensor([2]),
+                weight_locks: vec![],
+            },
+            &[relu],
+        )
+        .unwrap();
+    let g = gb.build(out).unwrap();
+    let mut keys = KeyAssignment::from_values(vec![0.2, -0.9]);
+    let x = rng.normal_tensor([3, 5]);
+    check_key_grads(&g, &mut keys, &x);
+}
+
+#[test]
+fn weight_lock_gradients() {
+    use relock_graph::WeightLock;
+    let mut rng = Prng::seed_from_u64(350);
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(4);
+    let lin = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([3, 4]),
+                b: rng.normal_tensor([3]),
+                weight_locks: vec![
+                    WeightLock {
+                        row: 0,
+                        col: 1,
+                        slot: KeySlot(0),
+                    },
+                    WeightLock {
+                        row: 2,
+                        col: 3,
+                        slot: KeySlot(1),
+                    },
+                ],
+            },
+            &[x],
+        )
+        .unwrap();
+    let relu = gb.add(Op::Relu, &[lin]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: rng.normal_tensor([2, 3]),
+                b: rng.normal_tensor([2]),
+                weight_locks: vec![],
+            },
+            &[relu],
+        )
+        .unwrap();
+    let mut g = gb.build(out).unwrap();
+    let mut keys = KeyAssignment::from_values(vec![0.5, -0.5]);
+    let x = rng.normal_tensor([2, 4]);
+    check_param_grads(&mut g, &keys.clone(), &x, 4, 351);
+    check_key_grads(&g, &mut keys, &x);
+}

@@ -1,0 +1,188 @@
+//! Binary keys and key metrics.
+
+use relock_graph::KeyAssignment;
+use relock_tensor::rng::Prng;
+use std::fmt;
+
+/// A binary locking key: one bit per protected unit.
+///
+/// ```
+/// use relock_locking::Key;
+/// use relock_tensor::rng::Prng;
+/// let mut rng = Prng::seed_from_u64(1);
+/// let k = Key::random(8, &mut rng);
+/// assert_eq!(k.len(), 8);
+/// assert_eq!(k.fidelity(&k), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Key {
+    bits: Vec<bool>,
+}
+
+impl Key {
+    /// A key of `n` zero bits.
+    pub fn zeros(n: usize) -> Self {
+        Key {
+            bits: vec![false; n],
+        }
+    }
+
+    /// A uniformly random key of `n` bits (the paper's §4.2 protocol
+    /// assigns every bit uniformly at random).
+    pub fn random(n: usize, rng: &mut Prng) -> Self {
+        Key {
+            bits: (0..n).map(|_| rng.flip()).collect(),
+        }
+    }
+
+    /// Wraps explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Key { bits }
+    }
+
+    /// Key length.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the key has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// One bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_bit(&mut self, i: usize, b: bool) {
+        self.bits[i] = b;
+    }
+
+    /// Flips one bit in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip_bit(&mut self, i: usize) {
+        self.bits[i] = !self.bits[i];
+    }
+
+    /// Returns a copy with bit `i` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_flipped(&self, i: usize) -> Key {
+        let mut k = self.clone();
+        k.flip_bit(i);
+        k
+    }
+
+    /// Hamming distance to another key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &Key) -> usize {
+        assert_eq!(self.len(), other.len(), "key length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Fidelity: the fraction of bits matching `reference` (the paper's
+    /// key-recovery metric; 1.0 means an exactly recovered key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn fidelity(&self, reference: &Key) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.hamming(reference) as f64 / self.len() as f64
+    }
+
+    /// The continuous multiplier assignment for this key
+    /// (`bit 0 → +1`, `bit 1 → −1`).
+    pub fn to_assignment(&self) -> KeyAssignment {
+        KeyAssignment::from_bits(&self.bits)
+    }
+
+    /// A key different from `self` in exactly `d` random positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > len()`.
+    pub fn random_within_hamming(&self, d: usize, rng: &mut Prng) -> Key {
+        let idx = rng.choose_indices(self.len(), d);
+        let mut k = self.clone();
+        for i in idx {
+            k.flip_bit(i);
+        }
+        k
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_and_fidelity() {
+        let a = Key::from_bits(vec![true, false, true, true]);
+        let b = Key::from_bits(vec![true, true, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.fidelity(&b), 0.5);
+        assert_eq!(a.fidelity(&a), 1.0);
+    }
+
+    #[test]
+    fn assignment_round_trip() {
+        let a = Key::from_bits(vec![true, false]);
+        let ka = a.to_assignment();
+        assert_eq!(ka.to_bits(), a.bits());
+    }
+
+    #[test]
+    fn random_within_hamming_is_exact() {
+        let mut rng = Prng::seed_from_u64(3);
+        let a = Key::random(32, &mut rng);
+        for d in [0, 1, 5, 32] {
+            let b = a.random_within_hamming(d, &mut rng);
+            assert_eq!(a.hamming(&b), d);
+        }
+    }
+
+    #[test]
+    fn display_is_bitstring() {
+        let a = Key::from_bits(vec![true, false, true]);
+        assert_eq!(a.to_string(), "101");
+    }
+}

@@ -1,0 +1,321 @@
+//! The locked model artifact and the adversary-facing oracle.
+//!
+//! Under the paper's adversary model (§2.3) the attacker holds the network
+//! *architecture and parameters* (the white box) but not the key, and can
+//! query a working hardware instance (the oracle) with arbitrary inputs,
+//! observing logits. The oracle counts queries so experiments can report the
+//! query-complexity column of Table 1.
+
+use crate::key::Key;
+use relock_graph::{Graph, KeyAssignment, SerialError};
+use relock_tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the oracle reveals per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Raw logits (the adversary model's stronger observation).
+    #[default]
+    Logits,
+    /// Softmax probabilities.
+    Softmax,
+}
+
+/// A trained network bundled with its secret key — the IP owner's artifact.
+#[derive(Debug, Clone)]
+pub struct LockedModel {
+    graph: Graph,
+    true_key: Key,
+}
+
+impl LockedModel {
+    /// Bundles a locked graph with its key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key length does not match the graph's slot count.
+    pub fn new(graph: Graph, true_key: Key) -> Self {
+        assert_eq!(
+            graph.key_slot_count(),
+            true_key.len(),
+            "key length {} != graph slots {}",
+            true_key.len(),
+            graph.key_slot_count()
+        );
+        LockedModel { graph, true_key }
+    }
+
+    /// The network description an adversary downloads: architecture and all
+    /// weights, but no key.
+    pub fn white_box(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable graph access (used by the trainer).
+    pub fn white_box_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// The secret key (ground truth; experiments only).
+    pub fn true_key(&self) -> &Key {
+        &self.true_key
+    }
+
+    /// Logits under the true key.
+    pub fn logits(&self, x: &Tensor) -> Tensor {
+        self.graph.logits(x, &self.true_key.to_assignment())
+    }
+
+    /// Logits under an arbitrary candidate key.
+    pub fn logits_with(&self, x: &Tensor, key: &Key) -> Tensor {
+        self.graph.logits(x, &key.to_assignment())
+    }
+
+    /// Classification accuracy on a labelled set under an arbitrary key.
+    pub fn accuracy_with(&self, x: &Tensor, labels: &[usize], key: &Key) -> f64 {
+        let logits = self.graph.logits_batch(x, &key.to_assignment());
+        let q = logits.dims()[1];
+        let mut correct = 0usize;
+        for (s, &label) in labels.iter().enumerate() {
+            let row = Tensor::from_slice(&logits.as_slice()[s * q..(s + 1) * q]);
+            if row.argmax() == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / labels.len().max(1) as f64
+    }
+
+    /// Accuracy under the true key.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f64 {
+        self.accuracy_with(x, labels, &self.true_key.clone())
+    }
+
+    /// Serializes the model (graph + key) into a writer — the IP owner's
+    /// on-disk artifact, consumed by the workspace CLI.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        self.graph.save(w)?;
+        let bits = self.true_key.bits();
+        w.write_all(&(bits.len() as u64).to_le_bytes())?;
+        for &b in bits {
+            w.write_all(&[u8::from(b)])?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model written by [`LockedModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError`] on malformed bytes or a key that does not
+    /// match the graph's slot count.
+    pub fn load(r: &mut impl Read) -> Result<LockedModel, SerialError> {
+        let graph = Graph::load(r)?;
+        let mut len_buf = [0u8; 8];
+        r.read_exact(&mut len_buf).map_err(SerialError::Io)?;
+        let n = u64::from_le_bytes(len_buf) as usize;
+        if n != graph.key_slot_count() {
+            return Err(SerialError::Corrupt(format!(
+                "key length {n} does not match graph slots {}",
+                graph.key_slot_count()
+            )));
+        }
+        let mut bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b).map_err(SerialError::Io)?;
+            bits.push(match b[0] {
+                0 => false,
+                1 => true,
+                t => {
+                    return Err(SerialError::Corrupt(format!("bad key bit byte {t}")));
+                }
+            });
+        }
+        Ok(LockedModel::new(graph, Key::from_bits(bits)))
+    }
+}
+
+/// The adversary's I/O interface to a working locked instance.
+pub trait Oracle: Sync {
+    /// Queries a `(B, P)` batch, returning `(B, Q)` outputs.
+    fn query_batch(&self, x: &Tensor) -> Tensor;
+
+    /// Total input rows queried so far.
+    fn query_count(&self) -> u64;
+
+    /// Input dimensionality `P`.
+    fn input_dim(&self) -> usize;
+
+    /// Output dimensionality `Q`.
+    fn output_dim(&self) -> usize;
+
+    /// Queries a single input vector.
+    fn query(&self, x: &Tensor) -> Tensor {
+        let b = self.query_batch(&x.reshape([1, x.numel()]));
+        Tensor::from_slice(b.row(0))
+    }
+}
+
+/// The standard oracle: a [`LockedModel`] evaluated under its true key,
+/// with an atomic query counter.
+#[derive(Debug)]
+pub struct CountingOracle {
+    graph: Graph,
+    keys: KeyAssignment,
+    mode: OutputMode,
+    counter: AtomicU64,
+}
+
+impl CountingOracle {
+    /// Builds the oracle from a locked model (logit output).
+    pub fn new(model: &LockedModel) -> Self {
+        CountingOracle {
+            graph: model.white_box().clone(),
+            keys: model.true_key().to_assignment(),
+            mode: OutputMode::Logits,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the oracle with an explicit output mode.
+    pub fn with_mode(model: &LockedModel, mode: OutputMode) -> Self {
+        CountingOracle {
+            mode,
+            ..CountingOracle::new(model)
+        }
+    }
+
+    /// Resets the query counter (between experiment phases).
+    pub fn reset_count(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Oracle for CountingOracle {
+    fn query_batch(&self, x: &Tensor) -> Tensor {
+        let rows = x.dims()[0] as u64;
+        self.counter.fetch_add(rows, Ordering::Relaxed);
+        let logits = self.graph.logits_batch(x, &self.keys);
+        match self.mode {
+            OutputMode::Logits => logits,
+            OutputMode::Softmax => {
+                let (b, q) = (logits.dims()[0], logits.dims()[1]);
+                let mut out = Vec::with_capacity(b * q);
+                for s in 0..b {
+                    let row = Tensor::from_slice(logits.row(s)).softmax();
+                    out.extend_from_slice(row.as_slice());
+                }
+                Tensor::from_vec(out, [b, q])
+            }
+        }
+    }
+
+    fn query_count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    fn input_dim(&self) -> usize {
+        self.graph.input_size()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.graph.output_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_graph::{GraphBuilder, KeySlot, Op, UnitLayout};
+    use relock_tensor::rng::Prng;
+
+    fn tiny_locked_model() -> LockedModel {
+        let mut rng = Prng::seed_from_u64(20);
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(3);
+        let l = gb
+            .add(
+                Op::Linear {
+                    w: rng.normal_tensor([4, 3]),
+                    b: rng.normal_tensor([4]),
+                    weight_locks: vec![],
+                },
+                &[x],
+            )
+            .unwrap();
+        let k = gb
+            .add(
+                Op::KeyedSign {
+                    layout: UnitLayout::scalar(4),
+                    slots: vec![Some(KeySlot(0)), Some(KeySlot(1)), None, None],
+                },
+                &[l],
+            )
+            .unwrap();
+        let r = gb.add(Op::Relu, &[k]).unwrap();
+        let out = gb
+            .add(
+                Op::Linear {
+                    w: rng.normal_tensor([2, 4]),
+                    b: rng.normal_tensor([2]),
+                    weight_locks: vec![],
+                },
+                &[r],
+            )
+            .unwrap();
+        let g = gb.build(out).unwrap();
+        LockedModel::new(g, Key::from_bits(vec![true, false]))
+    }
+
+    #[test]
+    fn oracle_counts_rows() {
+        let m = tiny_locked_model();
+        let o = CountingOracle::new(&m);
+        let mut rng = Prng::seed_from_u64(21);
+        o.query(&rng.normal_tensor([3]));
+        o.query_batch(&rng.normal_tensor([5, 3]));
+        assert_eq!(o.query_count(), 6);
+        o.reset_count();
+        assert_eq!(o.query_count(), 0);
+    }
+
+    #[test]
+    fn oracle_matches_true_key_logits() {
+        let m = tiny_locked_model();
+        let o = CountingOracle::new(&m);
+        let mut rng = Prng::seed_from_u64(22);
+        let x = rng.normal_tensor([3]);
+        assert!(o.query(&x).max_abs_diff(&m.logits(&x)) < 1e-15);
+    }
+
+    #[test]
+    fn wrong_key_changes_outputs() {
+        let m = tiny_locked_model();
+        let mut rng = Prng::seed_from_u64(23);
+        // A wrong key must disagree with the oracle somewhere.
+        let wrong = Key::from_bits(vec![false, false]);
+        let mut differs = false;
+        for _ in 0..10 {
+            let x = rng.normal_tensor([3]);
+            if m.logits(&x).max_abs_diff(&m.logits_with(&x, &wrong)) > 1e-9 {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "flipping a key bit should change the function");
+    }
+
+    #[test]
+    fn softmax_mode_normalizes() {
+        let m = tiny_locked_model();
+        let o = CountingOracle::with_mode(&m, OutputMode::Softmax);
+        let mut rng = Prng::seed_from_u64(24);
+        let y = o.query(&rng.normal_tensor([3]));
+        assert!((y.sum() - 1.0).abs() < 1e-12);
+    }
+}

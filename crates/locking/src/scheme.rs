@@ -1,0 +1,369 @@
+//! Lock specification and the per-layer site allocator used while building
+//! a network.
+//!
+//! The paper's §4.2 encryption protocol, which this module implements:
+//!
+//! 1. equally distribute the key bits to all designated hidden layers;
+//! 2. embed key bits into a set of neurons selected uniformly at random
+//!    within every such layer;
+//! 3. assign every key bit a value uniformly at random (see
+//!    [`crate::Key::random`]).
+//!
+//! Model builders call [`LockAllocator::lock_layer`] once per lockable layer
+//! (in order) and receive the keyed operator to insert.
+
+use relock_graph::{KeySlot, Op, UnitLayout};
+use relock_tensor::rng::Prng;
+use std::fmt;
+
+/// Which locking operator protects the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LockVariant {
+    /// HPNN's original sign-flipping unit (paper Eq. 1).
+    Sign,
+    /// §3.9(a): multiply the pre-activation by `factor` when the bit is 1.
+    Scale(f64),
+}
+
+impl Default for LockVariant {
+    fn default() -> Self {
+        LockVariant::Sign
+    }
+}
+
+/// How many key bits to embed and with which operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockSpec {
+    /// Total number of key bits across the network.
+    pub total_bits: usize,
+    /// The locking operator.
+    pub variant: LockVariant,
+}
+
+impl LockSpec {
+    /// Sign locking with `total_bits` bits split evenly across layers.
+    pub fn evenly(total_bits: usize) -> Self {
+        LockSpec {
+            total_bits,
+            variant: LockVariant::Sign,
+        }
+    }
+
+    /// Multiplicative locking (§3.9a) with the given factor.
+    pub fn scale(total_bits: usize, factor: f64) -> Self {
+        LockSpec {
+            total_bits,
+            variant: LockVariant::Scale(factor),
+        }
+    }
+
+    /// An unlocked network (zero key bits).
+    pub fn none() -> Self {
+        LockSpec {
+            total_bits: 0,
+            variant: LockVariant::Sign,
+        }
+    }
+}
+
+/// Errors raised during lock allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// A layer was asked to hold more key bits than it has units.
+    LayerTooSmall {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Units available.
+        units: usize,
+        /// Bits requested.
+        requested: usize,
+    },
+    /// The builder declared `n_layers` but called `lock_layer` a different
+    /// number of times.
+    LayerCountMismatch {
+        /// Declared layer count.
+        declared: usize,
+        /// Layers actually locked.
+        locked: usize,
+    },
+    /// The architecture's lockable layers cannot hold the requested key.
+    InsufficientCapacity {
+        /// Total lockable units across all layers.
+        capacity: usize,
+        /// Key bits requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::LayerTooSmall {
+                layer,
+                units,
+                requested,
+            } => write!(
+                f,
+                "layer {layer} has {units} lockable units but {requested} bits were requested"
+            ),
+            LockError::LayerCountMismatch { declared, locked } => write!(
+                f,
+                "lock plan declared {declared} layers but {locked} were locked"
+            ),
+            LockError::InsufficientCapacity {
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "cannot embed {requested} key bits into {capacity} lockable units"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Allocates key slots to lockable layers while a model is being built.
+///
+/// Create one with the number of lockable layers the architecture exposes,
+/// then have the builder call [`lock_layer`](LockAllocator::lock_layer) once
+/// per layer in network order. Call [`finish`](LockAllocator::finish) after
+/// building to validate the plan was fully consumed and obtain the total
+/// slot count.
+#[derive(Debug)]
+pub struct LockAllocator {
+    spec: LockSpec,
+    per_layer: Vec<usize>,
+    next_layer: usize,
+    next_slot: usize,
+    rng: Prng,
+}
+
+impl LockAllocator {
+    /// Plans `spec.total_bits` bits over `n_layers` lockable layers,
+    /// distributing them as evenly as possible (earlier layers absorb the
+    /// remainder, matching the paper's "equally distribute" protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_layers == 0` while `spec.total_bits > 0`.
+    pub fn new(spec: LockSpec, n_layers: usize, rng: Prng) -> Self {
+        assert!(
+            n_layers > 0 || spec.total_bits == 0,
+            "cannot lock a network with no lockable layers"
+        );
+        let mut per_layer = vec![0usize; n_layers];
+        if n_layers > 0 {
+            let base = spec.total_bits / n_layers;
+            let extra = spec.total_bits % n_layers;
+            for (i, p) in per_layer.iter_mut().enumerate() {
+                *p = base + usize::from(i < extra);
+            }
+        }
+        LockAllocator {
+            spec,
+            per_layer,
+            next_layer: 0,
+            next_slot: 0,
+            rng,
+        }
+    }
+
+    /// Like [`new`](LockAllocator::new), but respects per-layer unit
+    /// capacities: the equal split is water-filled, so bits that would
+    /// overflow a narrow layer (e.g. LeNet's 6-channel first convolution)
+    /// spill into layers with spare room.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::InsufficientCapacity`] if the layers cannot
+    /// hold `spec.total_bits` in total.
+    pub fn with_capacities(
+        spec: LockSpec,
+        capacities: &[usize],
+        rng: Prng,
+    ) -> Result<Self, LockError> {
+        let total_cap: usize = capacities.iter().sum();
+        if total_cap < spec.total_bits {
+            return Err(LockError::InsufficientCapacity {
+                capacity: total_cap,
+                requested: spec.total_bits,
+            });
+        }
+        let n = capacities.len();
+        let mut per_layer = vec![0usize; n];
+        let mut remaining = spec.total_bits;
+        // Water-fill: repeatedly hand each unsaturated layer an equal share.
+        while remaining > 0 {
+            let open: Vec<usize> = (0..n).filter(|&i| per_layer[i] < capacities[i]).collect();
+            let share = (remaining / open.len()).max(1);
+            for (rank, &i) in open.iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                let extra = usize::from(rank < remaining % open.len() && remaining >= open.len());
+                let want = (share + extra)
+                    .min(capacities[i] - per_layer[i])
+                    .min(remaining);
+                per_layer[i] += want;
+                remaining -= want;
+            }
+        }
+        Ok(LockAllocator {
+            spec,
+            per_layer,
+            next_layer: 0,
+            next_slot: 0,
+            rng,
+        })
+    }
+
+    /// A zero-bit allocator producing pass-through keyed ops.
+    pub fn unlocked(n_layers: usize) -> Self {
+        LockAllocator::new(LockSpec::none(), n_layers.max(1), Prng::seed_from_u64(0))
+    }
+
+    /// Allocates this (next) layer's key bits over `layout.n_units` units
+    /// selected uniformly at random, returning the keyed op to insert after
+    /// the layer's pre-activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::LayerTooSmall`] if the layer cannot hold its
+    /// share of bits and [`LockError::LayerCountMismatch`] if called more
+    /// times than layers were declared.
+    pub fn lock_layer(&mut self, layout: UnitLayout) -> Result<Op, LockError> {
+        if self.next_layer >= self.per_layer.len() {
+            return Err(LockError::LayerCountMismatch {
+                declared: self.per_layer.len(),
+                locked: self.next_layer + 1,
+            });
+        }
+        let want = self.per_layer[self.next_layer];
+        if want > layout.n_units {
+            return Err(LockError::LayerTooSmall {
+                layer: self.next_layer,
+                units: layout.n_units,
+                requested: want,
+            });
+        }
+        self.next_layer += 1;
+        let mut slots = vec![None; layout.n_units];
+        let chosen = self.rng.choose_indices(layout.n_units, want);
+        for u in chosen {
+            slots[u] = Some(KeySlot(self.next_slot));
+            self.next_slot += 1;
+        }
+        Ok(match self.spec.variant {
+            LockVariant::Sign => Op::KeyedSign { layout, slots },
+            LockVariant::Scale(factor) => Op::KeyedScale {
+                layout,
+                slots,
+                factor,
+            },
+        })
+    }
+
+    /// Validates that every declared layer was locked and returns the total
+    /// number of allocated key slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::LayerCountMismatch`] if some layers were never
+    /// locked.
+    pub fn finish(self) -> Result<usize, LockError> {
+        if self.next_layer != self.per_layer.len() {
+            return Err(LockError::LayerCountMismatch {
+                declared: self.per_layer.len(),
+                locked: self.next_layer,
+            });
+        }
+        Ok(self.next_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_distribution_with_remainder() {
+        let a = LockAllocator::new(LockSpec::evenly(10), 3, Prng::seed_from_u64(1));
+        assert_eq!(a.per_layer, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn lock_layer_allocates_distinct_slots() {
+        let mut a = LockAllocator::new(LockSpec::evenly(4), 2, Prng::seed_from_u64(2));
+        let op1 = a.lock_layer(UnitLayout::scalar(8)).unwrap();
+        let op2 = a.lock_layer(UnitLayout::scalar(8)).unwrap();
+        let slots: Vec<_> = op1.key_slots().into_iter().chain(op2.key_slots()).collect();
+        assert_eq!(slots.len(), 4);
+        let set: std::collections::HashSet<_> = slots.iter().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(a.finish().unwrap(), 4);
+    }
+
+    #[test]
+    fn water_filling_spills_overflow() {
+        // 10 bits over capacities [2, 8, 8]: fair share 3/3/4 overflows the
+        // first layer, so it saturates at 2 and the rest spills.
+        let a = LockAllocator::with_capacities(
+            LockSpec::evenly(10),
+            &[2, 8, 8],
+            Prng::seed_from_u64(6),
+        )
+        .unwrap();
+        assert_eq!(a.per_layer.iter().sum::<usize>(), 10);
+        assert_eq!(a.per_layer[0], 2);
+        assert!(a.per_layer[1] <= 8 && a.per_layer[2] <= 8);
+    }
+
+    #[test]
+    fn water_filling_exact_fit() {
+        let a = LockAllocator::with_capacities(
+            LockSpec::evenly(18),
+            &[6, 6, 6],
+            Prng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(a.per_layer, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn water_filling_over_capacity_errors() {
+        let err =
+            LockAllocator::with_capacities(LockSpec::evenly(10), &[2, 3], Prng::seed_from_u64(8));
+        assert!(matches!(err, Err(LockError::InsufficientCapacity { .. })));
+    }
+
+    #[test]
+    fn layer_too_small_is_an_error() {
+        let mut a = LockAllocator::new(LockSpec::evenly(9), 1, Prng::seed_from_u64(3));
+        let err = a.lock_layer(UnitLayout::scalar(4)).unwrap_err();
+        assert!(matches!(err, LockError::LayerTooSmall { .. }));
+    }
+
+    #[test]
+    fn finish_detects_missing_layers() {
+        let a = LockAllocator::new(LockSpec::evenly(2), 2, Prng::seed_from_u64(4));
+        assert!(matches!(
+            a.finish(),
+            Err(LockError::LayerCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unlocked_allocator_produces_passthrough() {
+        let mut a = LockAllocator::unlocked(1);
+        let op = a.lock_layer(UnitLayout::scalar(5)).unwrap();
+        assert!(op.key_slots().is_empty());
+    }
+
+    #[test]
+    fn scale_variant_produces_keyed_scale() {
+        let mut a = LockAllocator::new(LockSpec::scale(2, 0.5), 1, Prng::seed_from_u64(5));
+        let op = a.lock_layer(UnitLayout::scalar(4)).unwrap();
+        assert!(matches!(op, Op::KeyedScale { factor, .. } if factor == 0.5));
+    }
+}

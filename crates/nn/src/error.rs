@@ -1,0 +1,48 @@
+//! Model construction errors.
+
+use relock_graph::GraphError;
+use relock_locking::LockError;
+use std::fmt;
+
+/// Errors raised while assembling a locked model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The underlying graph rejected an operator.
+    Graph(GraphError),
+    /// The lock plan could not be satisfied by the architecture.
+    Lock(LockError),
+    /// A specification field is inconsistent (message explains).
+    BadSpec(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            BuildError::Lock(e) => write!(f, "lock plan failed: {e}"),
+            BuildError::BadSpec(msg) => write!(f, "invalid model spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Graph(e) => Some(e),
+            BuildError::Lock(e) => Some(e),
+            BuildError::BadSpec(_) => None,
+        }
+    }
+}
+
+impl From<GraphError> for BuildError {
+    fn from(e: GraphError) -> Self {
+        BuildError::Graph(e)
+    }
+}
+
+impl From<LockError> for BuildError {
+    fn from(e: LockError) -> Self {
+        BuildError::Lock(e)
+    }
+}

@@ -1,0 +1,237 @@
+//! The LeNet-5 ReLU variant victim (paper §4.2 "LeNet").
+
+use crate::error::BuildError;
+use relock_graph::{GraphBuilder, Op, UnitLayout};
+use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_tensor::im2col::ConvGeometry;
+use relock_tensor::rng::Prng;
+
+/// Architecture of the ReLU LeNet-5 variant: two locked convolutions with
+/// max pooling, then two locked fully-connected layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LenetSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Channels of the first convolution.
+    pub c1: usize,
+    /// Channels of the second convolution.
+    pub c2: usize,
+    /// Width of the first fully-connected layer.
+    pub fc1: usize,
+    /// Width of the second fully-connected layer.
+    pub fc2: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Default for LenetSpec {
+    /// The classic 28×28 grayscale geometry: 6/16 conv channels, 120/84 FC.
+    fn default() -> Self {
+        LenetSpec {
+            in_channels: 1,
+            h: 28,
+            w: 28,
+            c1: 6,
+            c2: 16,
+            fc1: 120,
+            fc2: 84,
+            classes: 10,
+        }
+    }
+}
+
+/// Builds an HPNN-locked LeNet. Convolutions get §3.9(c) channel locks;
+/// fully-connected layers get per-neuron locks; four lockable layers total.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] on a degenerate spec or an unsatisfiable lock
+/// plan.
+pub fn build_lenet(
+    spec: &LenetSpec,
+    lock: LockSpec,
+    rng: &mut Prng,
+) -> Result<LockedModel, BuildError> {
+    if spec.h < 12 || spec.w < 12 {
+        return Err(BuildError::BadSpec(
+            "LeNet needs at least a 12×12 input for its two 5×5 conv + pool stages".into(),
+        ));
+    }
+    let mut alloc =
+        LockAllocator::with_capacities(lock, &[spec.c1, spec.c2, spec.fc1, spec.fc2], rng.fork())?;
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(spec.in_channels * spec.h * spec.w);
+
+    // conv1: 5×5, pad 2 (shape-preserving), then 2×2 max pool.
+    let g1 = ConvGeometry {
+        in_channels: spec.in_channels,
+        in_h: spec.h,
+        in_w: spec.w,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let conv1 = gb.add(
+        Op::Conv2d {
+            w: rng.kaiming_tensor([spec.c1, g1.patch_len()], g1.patch_len()),
+            b: rng.kaiming_tensor([spec.c1], g1.patch_len()),
+            geom: g1,
+        },
+        &[x],
+    )?;
+    let k1 = gb.add(
+        alloc.lock_layer(UnitLayout::channel_major(spec.c1, g1.out_positions()))?,
+        &[conv1],
+    )?;
+    let r1 = gb.add(Op::Relu, &[k1])?;
+    let p1 = gb.add(
+        Op::MaxPool2d {
+            channels: spec.c1,
+            in_h: g1.out_h(),
+            in_w: g1.out_w(),
+            k: 2,
+            stride: 2,
+        },
+        &[r1],
+    )?;
+    let (h1, w1) = (g1.out_h() / 2, g1.out_w() / 2);
+
+    // conv2: 5×5, no padding, then 2×2 max pool.
+    let g2 = ConvGeometry {
+        in_channels: spec.c1,
+        in_h: h1,
+        in_w: w1,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let conv2 = gb.add(
+        Op::Conv2d {
+            w: rng.kaiming_tensor([spec.c2, g2.patch_len()], g2.patch_len()),
+            b: rng.kaiming_tensor([spec.c2], g2.patch_len()),
+            geom: g2,
+        },
+        &[p1],
+    )?;
+    let k2 = gb.add(
+        alloc.lock_layer(UnitLayout::channel_major(spec.c2, g2.out_positions()))?,
+        &[conv2],
+    )?;
+    let r2 = gb.add(Op::Relu, &[k2])?;
+    let p2 = gb.add(
+        Op::MaxPool2d {
+            channels: spec.c2,
+            in_h: g2.out_h(),
+            in_w: g2.out_w(),
+            k: 2,
+            stride: 2,
+        },
+        &[r2],
+    )?;
+    let flat = spec.c2 * (g2.out_h() / 2) * (g2.out_w() / 2);
+
+    // fc1 and fc2 with per-neuron locks, then the output layer.
+    let l1 = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.fc1, flat], flat),
+            b: rng.kaiming_tensor([spec.fc1], flat),
+            weight_locks: vec![],
+        },
+        &[p2],
+    )?;
+    let k3 = gb.add(alloc.lock_layer(UnitLayout::scalar(spec.fc1))?, &[l1])?;
+    let r3 = gb.add(Op::Relu, &[k3])?;
+    let l2 = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.fc2, spec.fc1], spec.fc1),
+            b: rng.kaiming_tensor([spec.fc2], spec.fc1),
+            weight_locks: vec![],
+        },
+        &[r3],
+    )?;
+    let k4 = gb.add(alloc.lock_layer(UnitLayout::scalar(spec.fc2))?, &[l2])?;
+    let r4 = gb.add(Op::Relu, &[k4])?;
+    let out = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.classes, spec.fc2], spec.fc2),
+            b: rng.kaiming_tensor([spec.classes], spec.fc2),
+            weight_locks: vec![],
+        },
+        &[r4],
+    )?;
+    let slots = alloc.finish()?;
+    let graph = gb.build(out)?;
+    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builds_with_paper_key_sizes() {
+        let mut rng = Prng::seed_from_u64(50);
+        for bits in [16usize, 24] {
+            let m = build_lenet(&LenetSpec::default(), LockSpec::evenly(bits), &mut rng).unwrap();
+            assert_eq!(m.true_key().len(), bits);
+            assert_eq!(m.white_box().input_size(), 784);
+            assert_eq!(m.white_box().output_size(), 10);
+        }
+    }
+
+    #[test]
+    fn forward_shape_is_consistent() {
+        let mut rng = Prng::seed_from_u64(51);
+        let spec = LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 3,
+            c2: 4,
+            fc1: 10,
+            fc2: 8,
+            classes: 4,
+        };
+        let m = build_lenet(&spec, LockSpec::evenly(8), &mut rng).unwrap();
+        let y = m.logits(&rng.normal_tensor([144]));
+        assert_eq!(y.numel(), 4);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn too_small_input_rejected() {
+        let mut rng = Prng::seed_from_u64(52);
+        let spec = LenetSpec {
+            h: 8,
+            w: 8,
+            ..LenetSpec::default()
+        };
+        assert!(build_lenet(&spec, LockSpec::none(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn channel_locks_flip_whole_channels() {
+        let mut rng = Prng::seed_from_u64(53);
+        let spec = LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 4,
+            c2: 4,
+            fc1: 8,
+            fc2: 8,
+            classes: 3,
+        };
+        let m = build_lenet(&spec, LockSpec::evenly(4), &mut rng).unwrap();
+        let sites = m.white_box().lock_sites();
+        assert_eq!(sites.len(), 4);
+        // First lockable layer is conv1: its sites must be channel units.
+        assert!(sites[0].layout.unit_len > 1);
+    }
+}

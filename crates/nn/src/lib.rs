@@ -1,0 +1,51 @@
+//! Model zoo and trainer for the relock experiments.
+//!
+//! Builds the paper's four victim architectures (§4.2) as locked
+//! computation graphs, and trains them **as functions of their keys** (the
+//! HPNN protocol: the key is fixed while every weight and bias adapts to
+//! it):
+//!
+//! - [`build_mlp`] — multilayer perceptron, the paper's contractive case
+//!   where the algebraic attack alone suffices;
+//! - [`build_lenet`] — a ReLU LeNet-5 variant with channel-locked
+//!   convolutions and neuron-locked fully-connected layers;
+//! - [`build_resnet`] — a width-scaled residual network with channel locks
+//!   in every block (expansive: the learning attack must take over);
+//! - [`build_vit`] — a width/depth-scaled ReLU Vision Transformer with
+//!   feature locks in every block's MLP.
+//!
+//! Scale substitutions relative to the paper are documented in DESIGN.md §2.
+//!
+//! # Example
+//!
+//! ```
+//! use relock_nn::{build_mlp, MlpSpec, Trainer};
+//! use relock_locking::LockSpec;
+//! use relock_data::mnist_like;
+//! use relock_tensor::rng::Prng;
+//!
+//! let mut rng = Prng::seed_from_u64(1);
+//! let task = mnist_like(&mut rng, 200, 50, 16);
+//! let mut model = build_mlp(
+//!     &MlpSpec { input: 16, hidden: vec![12, 8], classes: 10 },
+//!     LockSpec::evenly(4),
+//!     &mut rng,
+//! )?;
+//! let summary = Trainer::quick().fit(&mut model, &task, &mut rng);
+//! assert!(summary.final_train_accuracy > 0.5);
+//! # Ok::<(), relock_nn::BuildError>(())
+//! ```
+
+mod error;
+mod lenet;
+mod mlp;
+mod resnet;
+mod trainer;
+mod vit;
+
+pub use error::BuildError;
+pub use lenet::{build_lenet, LenetSpec};
+pub use mlp::{build_mlp, build_mlp_weight_locked, MlpSpec};
+pub use resnet::{build_resnet, ResnetSpec, StageSpec};
+pub use trainer::{Trainer, TrainingSummary};
+pub use vit::{build_vit, VitSpec};

@@ -1,0 +1,249 @@
+//! The multilayer-perceptron victim (paper §4.2 "MLP").
+
+use crate::error::BuildError;
+use relock_graph::{GraphBuilder, KeySlot, Op, UnitLayout, WeightLock};
+use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_tensor::rng::Prng;
+
+/// Architecture of a fully-connected ReLU network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    /// Input dimensionality.
+    pub input: usize,
+    /// Hidden layer widths (each followed by a lock stage and ReLU).
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for MlpSpec {
+    /// The paper's MNIST MLP: 784 → 256 → 64 → 10.
+    fn default() -> Self {
+        MlpSpec {
+            input: 784,
+            hidden: vec![256, 64],
+            classes: 10,
+        }
+    }
+}
+
+/// Builds an HPNN-locked MLP: `Linear → KeyedSign → ReLU` per hidden layer,
+/// then an unlocked output layer. The secret key is sampled uniformly.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the spec is degenerate or the lock plan does
+/// not fit (e.g. more bits than neurons in a layer).
+pub fn build_mlp(
+    spec: &MlpSpec,
+    lock: LockSpec,
+    rng: &mut Prng,
+) -> Result<LockedModel, BuildError> {
+    if spec.hidden.is_empty() {
+        return Err(BuildError::BadSpec(
+            "MLP needs at least one hidden layer".into(),
+        ));
+    }
+    if spec.input == 0 || spec.classes < 2 {
+        return Err(BuildError::BadSpec(
+            "MLP needs input > 0 and ≥ 2 classes".into(),
+        ));
+    }
+    let mut alloc = LockAllocator::with_capacities(lock, &spec.hidden, rng.fork())?;
+    let mut gb = GraphBuilder::new();
+    let mut prev = gb.input(spec.input);
+    let mut prev_width = spec.input;
+    for &width in &spec.hidden {
+        let lin = gb.add(
+            Op::Linear {
+                w: rng.kaiming_tensor([width, prev_width], prev_width),
+                b: rng.kaiming_tensor([width], prev_width),
+                weight_locks: vec![],
+            },
+            &[prev],
+        )?;
+        let keyed = gb.add(alloc.lock_layer(UnitLayout::scalar(width))?, &[lin])?;
+        prev = gb.add(Op::Relu, &[keyed])?;
+        prev_width = width;
+    }
+    let out = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.classes, prev_width], prev_width),
+            b: rng.kaiming_tensor([spec.classes], prev_width),
+            weight_locks: vec![],
+        },
+        &[prev],
+    )?;
+    let slots = alloc.finish()?;
+    let graph = gb.build(out)?;
+    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+}
+
+/// Builds an MLP protected by the §3.9(b) *weight-element* variant: key
+/// bits flip the sign of randomly chosen weight matrix elements in the
+/// hidden layers instead of pre-activations.
+///
+/// # Errors
+///
+/// Returns [`BuildError::BadSpec`] if there are more bits than hidden-layer
+/// weight elements.
+pub fn build_mlp_weight_locked(
+    spec: &MlpSpec,
+    total_bits: usize,
+    rng: &mut Prng,
+) -> Result<LockedModel, BuildError> {
+    if spec.hidden.is_empty() {
+        return Err(BuildError::BadSpec(
+            "MLP needs at least one hidden layer".into(),
+        ));
+    }
+    let n_layers = spec.hidden.len();
+    let base = total_bits / n_layers;
+    let extra = total_bits % n_layers;
+    let mut gb = GraphBuilder::new();
+    let mut prev = gb.input(spec.input);
+    let mut prev_width = spec.input;
+    let mut next_slot = 0usize;
+    for (li, &width) in spec.hidden.iter().enumerate() {
+        let bits_here = base + usize::from(li < extra);
+        let n_elems = width * prev_width;
+        if bits_here > n_elems {
+            return Err(BuildError::BadSpec(format!(
+                "layer {li} has {n_elems} weights but {bits_here} bits were requested"
+            )));
+        }
+        let chosen = rng.choose_indices(n_elems, bits_here);
+        let weight_locks: Vec<WeightLock> = chosen
+            .into_iter()
+            .map(|flat| {
+                let l = WeightLock {
+                    row: flat / prev_width,
+                    col: flat % prev_width,
+                    slot: KeySlot(next_slot),
+                };
+                next_slot += 1;
+                l
+            })
+            .collect();
+        let lin = gb.add(
+            Op::Linear {
+                w: rng.kaiming_tensor([width, prev_width], prev_width),
+                b: rng.kaiming_tensor([width], prev_width),
+                weight_locks,
+            },
+            &[prev],
+        )?;
+        prev = gb.add(Op::Relu, &[lin])?;
+        prev_width = width;
+    }
+    let out = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.classes, prev_width], prev_width),
+            b: rng.kaiming_tensor([spec.classes], prev_width),
+            weight_locks: vec![],
+        },
+        &[prev],
+    )?;
+    let graph = gb.build(out)?;
+    Ok(LockedModel::new(graph, Key::random(next_slot, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_matches_paper() {
+        let s = MlpSpec::default();
+        assert_eq!(s.input, 784);
+        assert_eq!(s.hidden, vec![256, 64]);
+    }
+
+    #[test]
+    fn build_allocates_requested_bits() {
+        let mut rng = Prng::seed_from_u64(40);
+        let m = build_mlp(
+            &MlpSpec {
+                input: 8,
+                hidden: vec![6, 4],
+                classes: 3,
+            },
+            LockSpec::evenly(5),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(m.true_key().len(), 5);
+        assert_eq!(m.white_box().lock_sites().len(), 5);
+        assert_eq!(m.white_box().input_size(), 8);
+        assert_eq!(m.white_box().output_size(), 3);
+    }
+
+    #[test]
+    fn too_many_bits_fail() {
+        let mut rng = Prng::seed_from_u64(41);
+        let err = build_mlp(
+            &MlpSpec {
+                input: 8,
+                hidden: vec![2],
+                classes: 3,
+            },
+            LockSpec::evenly(5),
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn locked_model_is_key_sensitive() {
+        let mut rng = Prng::seed_from_u64(42);
+        let m = build_mlp(
+            &MlpSpec {
+                input: 4,
+                hidden: vec![8],
+                classes: 2,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .unwrap();
+        let x = rng.normal_tensor([4]);
+        let right = m.logits(&x);
+        let mut wrong_key = m.true_key().clone();
+        wrong_key.flip_bit(0);
+        let wrong = m.logits_with(&x, &wrong_key);
+        // Should differ for a generic input (the flipped neuron is active
+        // on one of the two sides).
+        let differs = right.max_abs_diff(&wrong) > 1e-12
+            || m.logits(&rng.normal_tensor([4]))
+                .max_abs_diff(&m.logits_with(&rng.normal_tensor([4]), &wrong_key))
+                > 1e-12;
+        assert!(differs);
+    }
+
+    #[test]
+    fn weight_locked_mlp_builds_and_is_key_sensitive() {
+        let mut rng = Prng::seed_from_u64(43);
+        let m = build_mlp_weight_locked(
+            &MlpSpec {
+                input: 4,
+                hidden: vec![6],
+                classes: 2,
+            },
+            3,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(m.true_key().len(), 3);
+        assert!(m.white_box().lock_sites().is_empty());
+        assert_eq!(m.white_box().weight_lock_slots().len(), 3);
+        let mut wrong = m.true_key().clone();
+        wrong.flip_bit(1);
+        // The flipped weight only shows when its hidden neuron is active,
+        // so probe several random inputs.
+        let differs = (0..20).any(|_| {
+            let x = rng.normal_tensor([4]);
+            m.logits(&x).max_abs_diff(&m.logits_with(&x, &wrong)) > 0.0
+        });
+        assert!(differs);
+    }
+}

@@ -1,0 +1,277 @@
+//! The residual-network victim (paper §4.2 "ResNet").
+//!
+//! A width/depth-scaled CIFAR-style ResNet (see DESIGN.md §2): a stem
+//! convolution followed by stages of basic blocks
+//! `conv → lock → relu → conv → lock → (+skip) → relu`, a global average
+//! pool, and a linear classifier. Every convolution inside a block (and the
+//! stem) carries §3.9(c) channel locks, making the network expansive almost
+//! everywhere — the regime where the paper's algebraic step yields ⊥ and
+//! the learning attack plus validation/correction must carry the attack.
+
+use crate::error::BuildError;
+use relock_graph::{GraphBuilder, NodeId, Op, UnitLayout};
+use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_tensor::im2col::ConvGeometry;
+use relock_tensor::rng::Prng;
+
+/// One stage of the residual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Output channels of every block in the stage.
+    pub channels: usize,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Stride of the stage's first convolution (2 = downsample).
+    pub stride: usize,
+}
+
+/// Architecture of the scaled ResNet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResnetSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Stem convolution channels.
+    pub stem: usize,
+    /// Residual stages.
+    pub stages: Vec<StageSpec>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Default for ResnetSpec {
+    /// The scaled CIFAR-like geometry used in the experiments: 3×16×16
+    /// input, 16-channel stem, stages 16/32/64 with one downsample each —
+    /// 13 lockable layers, enough capacity for the paper's 196-bit key.
+    fn default() -> Self {
+        ResnetSpec {
+            in_channels: 3,
+            h: 16,
+            w: 16,
+            stem: 16,
+            stages: vec![
+                StageSpec {
+                    channels: 16,
+                    blocks: 2,
+                    stride: 1,
+                },
+                StageSpec {
+                    channels: 32,
+                    blocks: 2,
+                    stride: 2,
+                },
+                StageSpec {
+                    channels: 64,
+                    blocks: 2,
+                    stride: 2,
+                },
+            ],
+            classes: 10,
+        }
+    }
+}
+
+impl ResnetSpec {
+    /// Number of lockable layers: the stem plus two per block.
+    pub fn lockable_layers(&self) -> usize {
+        1 + 2 * self.stages.iter().map(|s| s.blocks).sum::<usize>()
+    }
+}
+
+fn conv3(in_c: usize, in_h: usize, in_w: usize, stride: usize) -> ConvGeometry {
+    ConvGeometry {
+        in_channels: in_c,
+        in_h,
+        in_w,
+        k_h: 3,
+        k_w: 3,
+        stride,
+        pad: 1,
+    }
+}
+
+fn add_conv(
+    gb: &mut GraphBuilder,
+    rng: &mut Prng,
+    geom: ConvGeometry,
+    out_c: usize,
+    input: NodeId,
+) -> Result<NodeId, BuildError> {
+    Ok(gb.add(
+        Op::Conv2d {
+            w: rng.kaiming_tensor([out_c, geom.patch_len()], geom.patch_len()),
+            b: rng.kaiming_tensor([out_c], geom.patch_len()),
+            geom,
+        },
+        &[input],
+    )?)
+}
+
+/// Builds an HPNN-locked residual network per `spec`.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] on a degenerate spec or an unsatisfiable lock
+/// plan (e.g. more bits per layer than channels).
+pub fn build_resnet(
+    spec: &ResnetSpec,
+    lock: LockSpec,
+    rng: &mut Prng,
+) -> Result<LockedModel, BuildError> {
+    if spec.stages.is_empty() {
+        return Err(BuildError::BadSpec(
+            "ResNet needs at least one stage".into(),
+        ));
+    }
+    let mut capacities = vec![spec.stem];
+    for stage in &spec.stages {
+        for _ in 0..stage.blocks {
+            capacities.push(stage.channels);
+            capacities.push(stage.channels);
+        }
+    }
+    let mut alloc = LockAllocator::with_capacities(lock, &capacities, rng.fork())?;
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(spec.in_channels * spec.h * spec.w);
+
+    // Stem.
+    let g0 = conv3(spec.in_channels, spec.h, spec.w, 1);
+    let stem = add_conv(&mut gb, rng, g0, spec.stem, x)?;
+    let k0 = gb.add(
+        alloc.lock_layer(UnitLayout::channel_major(spec.stem, g0.out_positions()))?,
+        &[stem],
+    )?;
+    let mut prev = gb.add(Op::Relu, &[k0])?;
+    let (mut cur_c, mut cur_h, mut cur_w) = (spec.stem, g0.out_h(), g0.out_w());
+
+    for stage in &spec.stages {
+        for block in 0..stage.blocks {
+            let stride = if block == 0 { stage.stride } else { 1 };
+            let g_a = conv3(cur_c, cur_h, cur_w, stride);
+            let (out_h, out_w) = (g_a.out_h(), g_a.out_w());
+            let conv_a = add_conv(&mut gb, rng, g_a, stage.channels, prev)?;
+            let k_a = gb.add(
+                alloc.lock_layer(UnitLayout::channel_major(
+                    stage.channels,
+                    g_a.out_positions(),
+                ))?,
+                &[conv_a],
+            )?;
+            let r_a = gb.add(Op::Relu, &[k_a])?;
+
+            let g_b = conv3(stage.channels, out_h, out_w, 1);
+            let conv_b = add_conv(&mut gb, rng, g_b, stage.channels, r_a)?;
+            let k_b = gb.add(
+                alloc.lock_layer(UnitLayout::channel_major(
+                    stage.channels,
+                    g_b.out_positions(),
+                ))?,
+                &[conv_b],
+            )?;
+
+            // Skip path: identity when shapes match, 1×1 strided conv
+            // otherwise (unlocked, as in the original ResNet).
+            let skip = if stride == 1 && cur_c == stage.channels {
+                prev
+            } else {
+                let g_s = ConvGeometry {
+                    in_channels: cur_c,
+                    in_h: cur_h,
+                    in_w: cur_w,
+                    k_h: 1,
+                    k_w: 1,
+                    stride,
+                    pad: 0,
+                };
+                add_conv(&mut gb, rng, g_s, stage.channels, prev)?
+            };
+            let joined = gb.add(Op::Add, &[k_b, skip])?;
+            prev = gb.add(Op::Relu, &[joined])?;
+            (cur_c, cur_h, cur_w) = (stage.channels, out_h, out_w);
+        }
+    }
+
+    let pool = gb.add(
+        Op::AvgPoolGlobal {
+            channels: cur_c,
+            positions: cur_h * cur_w,
+        },
+        &[prev],
+    )?;
+    let out = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.classes, cur_c], cur_c),
+            b: rng.kaiming_tensor([spec.classes], cur_c),
+            weight_locks: vec![],
+        },
+        &[pool],
+    )?;
+    let slots = alloc.finish()?;
+    let graph = gb.build(out)?;
+    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ResnetSpec {
+        ResnetSpec {
+            in_channels: 2,
+            h: 8,
+            w: 8,
+            stem: 4,
+            stages: vec![
+                StageSpec {
+                    channels: 4,
+                    blocks: 1,
+                    stride: 1,
+                },
+                StageSpec {
+                    channels: 8,
+                    blocks: 1,
+                    stride: 2,
+                },
+            ],
+            classes: 3,
+        }
+    }
+
+    #[test]
+    fn lockable_layer_count() {
+        assert_eq!(ResnetSpec::default().lockable_layers(), 13);
+        assert_eq!(tiny_spec().lockable_layers(), 5);
+    }
+
+    #[test]
+    fn builds_and_evaluates() {
+        let mut rng = Prng::seed_from_u64(60);
+        let m = build_resnet(&tiny_spec(), LockSpec::evenly(10), &mut rng).unwrap();
+        assert_eq!(m.true_key().len(), 10);
+        let y = m.logits(&rng.normal_tensor([2 * 8 * 8]));
+        assert_eq!(y.numel(), 3);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn default_supports_paper_key_sizes() {
+        let mut rng = Prng::seed_from_u64(61);
+        let m = build_resnet(&ResnetSpec::default(), LockSpec::evenly(196), &mut rng).unwrap();
+        assert_eq!(m.true_key().len(), 196);
+    }
+
+    #[test]
+    fn residual_skip_preserves_gradient_flow() {
+        // The block output must depend on its input both through the conv
+        // path and the skip: zeroing the conv weights must not disconnect
+        // the network.
+        let mut rng = Prng::seed_from_u64(62);
+        let m = build_resnet(&tiny_spec(), LockSpec::none(), &mut rng).unwrap();
+        let x1 = rng.normal_tensor([128]);
+        let x2 = rng.normal_tensor([128]);
+        assert!(m.logits(&x1).max_abs_diff(&m.logits(&x2)) > 1e-9);
+    }
+}

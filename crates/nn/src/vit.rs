@@ -1,0 +1,281 @@
+//! The ReLU Vision-Transformer victim (paper §4.2 "V-Transformer").
+//!
+//! A width/depth-scaled ViT (see DESIGN.md §2): patch embedding, pre-LN
+//! transformer blocks with multi-head softmax self-attention and a
+//! **ReLU** MLP (the paper's "ReLU variant"), mean-token pooling and a
+//! linear head. HPNN key bits protect the MLP hidden features of every
+//! block (one key bit per feature, shared across tokens, mirroring the
+//! §3.9(c) channel treatment).
+
+use crate::error::BuildError;
+use relock_graph::{GraphBuilder, NodeId, Op, UnitLayout};
+use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_tensor::im2col::ConvGeometry;
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+/// Architecture of the scaled ReLU-ViT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VitSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Patch side length (stride of the patch embedding).
+    pub patch: usize,
+    /// Embedding dimension.
+    pub embed: usize,
+    /// Attention heads (must divide `embed`).
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub blocks: usize,
+    /// Hidden width of each block's MLP (the locked layer).
+    pub mlp_hidden: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Default for VitSpec {
+    /// The scaled CIFAR-like geometry used in the experiments: 16 tokens of
+    /// dimension 24, 3 heads, 4 blocks, 64-wide ReLU MLPs — 256 lockable
+    /// features, enough for the paper's 196-bit key.
+    fn default() -> Self {
+        VitSpec {
+            in_channels: 3,
+            h: 16,
+            w: 16,
+            patch: 4,
+            embed: 24,
+            heads: 3,
+            blocks: 4,
+            mlp_hidden: 64,
+            classes: 10,
+        }
+    }
+}
+
+impl VitSpec {
+    /// Number of tokens (patches).
+    pub fn tokens(&self) -> usize {
+        (self.h / self.patch) * (self.w / self.patch)
+    }
+}
+
+fn token_linear(
+    gb: &mut GraphBuilder,
+    rng: &mut Prng,
+    tokens: usize,
+    in_dim: usize,
+    out_dim: usize,
+    input: NodeId,
+) -> Result<NodeId, BuildError> {
+    Ok(gb.add(
+        Op::TokenLinear {
+            tokens,
+            w: rng.kaiming_tensor([out_dim, in_dim], in_dim),
+            b: rng.kaiming_tensor([out_dim], in_dim),
+        },
+        &[input],
+    )?)
+}
+
+fn layer_norm(
+    gb: &mut GraphBuilder,
+    tokens: usize,
+    dim: usize,
+    input: NodeId,
+) -> Result<NodeId, BuildError> {
+    Ok(gb.add(
+        Op::LayerNorm {
+            tokens,
+            dim,
+            gamma: Tensor::ones([dim]),
+            beta: Tensor::zeros([dim]),
+        },
+        &[input],
+    )?)
+}
+
+/// Builds an HPNN-locked ReLU-ViT per `spec`.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if `heads` does not divide `embed`, the patch
+/// size does not tile the image, or the lock plan does not fit.
+pub fn build_vit(
+    spec: &VitSpec,
+    lock: LockSpec,
+    rng: &mut Prng,
+) -> Result<LockedModel, BuildError> {
+    if spec.embed % spec.heads != 0 {
+        return Err(BuildError::BadSpec(format!(
+            "heads {} must divide embed {}",
+            spec.heads, spec.embed
+        )));
+    }
+    if spec.h % spec.patch != 0 || spec.w % spec.patch != 0 {
+        return Err(BuildError::BadSpec(format!(
+            "patch {} must tile the {}×{} input",
+            spec.patch, spec.h, spec.w
+        )));
+    }
+    if spec.blocks == 0 {
+        return Err(BuildError::BadSpec("ViT needs at least one block".into()));
+    }
+    let tokens = spec.tokens();
+    let head_dim = spec.embed / spec.heads;
+    let mut alloc =
+        LockAllocator::with_capacities(lock, &vec![spec.mlp_hidden; spec.blocks], rng.fork())?;
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(spec.in_channels * spec.h * spec.w);
+
+    // Patch embedding: a stride-`patch` convolution, then transpose the
+    // channel-major (embed, tokens) map into token-major (tokens, embed).
+    let g_patch = ConvGeometry {
+        in_channels: spec.in_channels,
+        in_h: spec.h,
+        in_w: spec.w,
+        k_h: spec.patch,
+        k_w: spec.patch,
+        stride: spec.patch,
+        pad: 0,
+    };
+    let embed_conv = gb.add(
+        Op::Conv2d {
+            w: rng.kaiming_tensor([spec.embed, g_patch.patch_len()], g_patch.patch_len()),
+            b: rng.kaiming_tensor([spec.embed], g_patch.patch_len()),
+            geom: g_patch,
+        },
+        &[x],
+    )?;
+    let mut stream = gb.add(
+        Op::TokenTranspose {
+            rows: spec.embed,
+            cols: tokens,
+        },
+        &[embed_conv],
+    )?;
+
+    for _ in 0..spec.blocks {
+        // Attention sub-block (pre-LN).
+        let normed = layer_norm(&mut gb, tokens, spec.embed, stream)?;
+        let q = token_linear(&mut gb, rng, tokens, spec.embed, spec.embed, normed)?;
+        let k = token_linear(&mut gb, rng, tokens, spec.embed, spec.embed, normed)?;
+        let v = token_linear(&mut gb, rng, tokens, spec.embed, spec.embed, normed)?;
+        let attn = gb.add(
+            Op::Attention {
+                tokens,
+                heads: spec.heads,
+                head_dim,
+            },
+            &[q, k, v],
+        )?;
+        let proj = token_linear(&mut gb, rng, tokens, spec.embed, spec.embed, attn)?;
+        let after_attn = gb.add(Op::Add, &[stream, proj])?;
+
+        // Locked ReLU MLP sub-block (pre-LN).
+        let normed2 = layer_norm(&mut gb, tokens, spec.embed, after_attn)?;
+        let up = token_linear(&mut gb, rng, tokens, spec.embed, spec.mlp_hidden, normed2)?;
+        let keyed = gb.add(
+            alloc.lock_layer(UnitLayout::token_feature(tokens, spec.mlp_hidden))?,
+            &[up],
+        )?;
+        let act = gb.add(Op::Relu, &[keyed])?;
+        let down = token_linear(&mut gb, rng, tokens, spec.mlp_hidden, spec.embed, act)?;
+        stream = gb.add(Op::Add, &[after_attn, down])?;
+    }
+
+    let final_norm = layer_norm(&mut gb, tokens, spec.embed, stream)?;
+    let pooled = gb.add(
+        Op::MeanTokens {
+            tokens,
+            dim: spec.embed,
+        },
+        &[final_norm],
+    )?;
+    let out = gb.add(
+        Op::Linear {
+            w: rng.kaiming_tensor([spec.classes, spec.embed], spec.embed),
+            b: rng.kaiming_tensor([spec.classes], spec.embed),
+            weight_locks: vec![],
+        },
+        &[pooled],
+    )?;
+    let slots = alloc.finish()?;
+    let graph = gb.build(out)?;
+    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> VitSpec {
+        VitSpec {
+            in_channels: 1,
+            h: 8,
+            w: 8,
+            patch: 4,
+            embed: 8,
+            heads: 2,
+            blocks: 2,
+            mlp_hidden: 12,
+            classes: 3,
+        }
+    }
+
+    #[test]
+    fn token_count() {
+        assert_eq!(VitSpec::default().tokens(), 16);
+        assert_eq!(tiny_spec().tokens(), 4);
+    }
+
+    #[test]
+    fn builds_and_evaluates() {
+        let mut rng = Prng::seed_from_u64(70);
+        let m = build_vit(&tiny_spec(), LockSpec::evenly(6), &mut rng).unwrap();
+        assert_eq!(m.true_key().len(), 6);
+        let y = m.logits(&rng.normal_tensor([64]));
+        assert_eq!(y.numel(), 3);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bad_head_split_rejected() {
+        let mut rng = Prng::seed_from_u64(71);
+        let spec = VitSpec {
+            heads: 3,
+            embed: 8,
+            ..tiny_spec()
+        };
+        assert!(build_vit(&spec, LockSpec::none(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn default_supports_paper_key_sizes() {
+        let mut rng = Prng::seed_from_u64(72);
+        let m = build_vit(&VitSpec::default(), LockSpec::evenly(196), &mut rng).unwrap();
+        assert_eq!(m.true_key().len(), 196);
+        // Locks live on MLP features: unit_len == tokens.
+        let sites = m.white_box().lock_sites();
+        assert!(sites.iter().all(|s| s.layout.unit_len == 16));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let mut rng = Prng::seed_from_u64(73);
+        let m = build_vit(&tiny_spec(), LockSpec::evenly(8), &mut rng).unwrap();
+        let mut wrong = m.true_key().clone();
+        wrong.flip_bit(3);
+        let mut differs = false;
+        for _ in 0..5 {
+            let x = rng.normal_tensor([64]);
+            if m.logits(&x).max_abs_diff(&m.logits_with(&x, &wrong)) > 1e-9 {
+                differs = true;
+            }
+        }
+        assert!(differs);
+    }
+}

@@ -1,0 +1,177 @@
+//! Tensor shapes: dimension lists with row-major stride math.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension extents.
+///
+/// Shapes are row-major ("C order"): the **last** dimension is contiguous in
+/// memory. A zero-dimensional shape is a scalar with one element.
+///
+/// ```
+/// use relock_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Shape of a scalar (zero dimensions, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.dims.len()];
+        let mut acc = 1usize;
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a multi-index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank {} != shape rank {}",
+            idx.len(),
+            self.dims.len()
+        );
+        let mut off = 0usize;
+        let mut acc = 1usize;
+        for i in (0..self.dims.len()).rev() {
+            assert!(
+                idx[i] < self.dims[i],
+                "index {} out of bounds for dim {} (extent {})",
+                idx[i],
+                i,
+                self.dims[i]
+            );
+            off += idx[i] * acc;
+            acc *= self.dims[i];
+        }
+        off
+    }
+
+    /// Returns `true` if the shape describes a matrix (rank 2).
+    pub fn is_matrix(&self) -> bool {
+        self.dims.len() == 2
+    }
+
+    /// Returns `true` if the shape describes a vector (rank 1).
+    pub fn is_vector(&self) -> bool {
+        self.dims.len() == 1
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(vec![2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]);
+                    assert!(off < 24);
+                    assert!(seen.insert(off), "duplicate offset {off}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(vec![2, 2]).offset(&[2, 0]);
+    }
+}

@@ -1,0 +1,694 @@
+//! The dense row-major `f64` tensor.
+
+use crate::Shape;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A dense, heap-allocated, row-major `f64` tensor.
+///
+/// `Tensor` is the single numeric container used throughout the workspace:
+/// network weights, activations, Jacobians and oracle outputs all flow
+/// through it. It favours explicitness and numerical clarity over raw
+/// throughput: every operation is safe Rust over a flat `Vec<f64>`.
+///
+/// ```
+/// use relock_tensor::Tensor;
+/// let a = Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// let b = Tensor::from_rows(&[&[2.0, 3.0], &[4.0, 5.0]]);
+/// assert_eq!(a.matmul(&b).as_slice(), b.as_slice());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f64>,
+    shape: Shape,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f64) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f64>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { data, shape }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(vec![data.len()]),
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(data, [rows.len(), cols])
+    }
+
+    /// Creates a scalar tensor.
+    pub fn scalar(value: f64) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The `j`-th standard basis vector of `R^n` (paper §3.3, `e_{i,j}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n`.
+    pub fn basis(n: usize, j: usize) -> Self {
+        assert!(j < n, "basis index {j} out of range for R^{n}");
+        let mut t = Tensor::zeros([n]);
+        t.data[j] = 1.0;
+        t
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The flat data, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat data, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Mutable element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds coordinates.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Element of a rank-2 tensor.
+    #[inline]
+    pub fn get2(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(self.shape.is_matrix());
+        self.data[r * self.shape.dim(1) + c]
+    }
+
+    /// Sets an element of a rank-2 tensor.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(self.shape.is_matrix());
+        let cols = self.shape.dim(1);
+        self.data[r * cols + c] = v;
+    }
+
+    /// Row `r` of a rank-2 tensor, as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(self.shape.is_matrix(), "row() requires a matrix");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix or `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(self.shape.is_matrix(), "row_mut() requires a matrix");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ---------------------------------------------------------- shape moves
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {} elements into {}",
+            self.numel(),
+            shape
+        );
+        Tensor {
+            data: self.data.clone(),
+            shape,
+        }
+    }
+
+    /// Consuming variant of [`reshape`](Self::reshape); avoids the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn into_reshaped(mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(self.numel(), shape.numel());
+        self.shape = shape;
+        self
+    }
+
+    /// Matrix transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert!(self.shape.is_matrix(), "transpose() requires a matrix");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros([n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    // -------------------------------------------------------- element-wise
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`, returning a new tensor.
+    pub fn scale(&self, alpha: f64) -> Tensor {
+        self.map(|x| alpha * x)
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        self.map_inplace(|x| alpha * x);
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Maximum element. Returns negative infinity for an empty tensor.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Index of the maximum element (first on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Euclidean norm of the flattened data.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// L∞ norm of the flattened data.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Dot product of two same-shaped tensors, over the flattened data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn dot(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// L∞ distance between two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    // -------------------------------------------------------- linear algebra
+
+    /// Matrix–matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul requires matrices, got {} x {}",
+            self.shape,
+            other.shape
+        );
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
+        let mut out = vec![0.0f64; m * n];
+        // i-k-j loop order: the inner loop walks both `other` and `out`
+        // contiguously, which matters for the Jacobian pushes.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// `A · Bᵀ` without materializing the transpose.
+    ///
+    /// For `A: m×k` and `B: n×k`, returns `m×n`. This is the layout used by
+    /// batched linear layers (`X · Wᵀ` with `W` stored out×in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul_nt requires matrices"
+        );
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", k, k2);
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// `Aᵀ · B` without materializing the transpose.
+    ///
+    /// For `A: k×m` and `B: k×n`, returns `m×n`. This is the layout of
+    /// weight-gradient accumulation (`Xᵀ · dY`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the `k` dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul_tn requires matrices"
+        );
+        let (k, m) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", k, k2);
+        let mut out = vec![0.0f64; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a matrix, `x` is not a vector, or the
+    /// dimensions are incompatible.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert!(self.shape.is_matrix(), "matvec requires a matrix");
+        assert!(x.shape.is_vector(), "matvec requires a vector");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        assert_eq!(n, x.numel(), "matvec dims: {}x{} vs {}", m, n, x.numel());
+        let mut out = vec![0.0f64; m];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            out[i] = row.iter().zip(&x.data).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, [m])
+    }
+
+    /// `Aᵀ x` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (see [`matvec`](Self::matvec)).
+    pub fn matvec_t(&self, x: &Tensor) -> Tensor {
+        assert!(self.shape.is_matrix(), "matvec_t requires a matrix");
+        assert!(x.shape.is_vector(), "matvec_t requires a vector");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        assert_eq!(m, x.numel(), "matvec_t dims: {}x{} vs {}", m, n, x.numel());
+        let mut out = vec![0.0f64; n];
+        for i in 0..m {
+            let xi = x.data[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * n..(i + 1) * n];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += xi * a;
+            }
+        }
+        Tensor::from_vec(out, [n])
+    }
+
+    /// Numerically stable softmax over the flattened data.
+    pub fn softmax(&self) -> Tensor {
+        let m = self.max();
+        let mut out = self.map(|x| (x - m).exp());
+        let s = out.sum();
+        out.scale_inplace(1.0 / s);
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, .. {} elements .. , {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.numel(),
+                self.data[self.numel() - 1]
+            )
+        }
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f64> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f64) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 1.0]]);
+        let x = Tensor::from_slice(&[2.0, 1.0, -1.0]);
+        let y = a.matvec(&x);
+        assert_eq!(y.as_slice(), &[-0.5, 2.0]);
+        let z = a.matvec_t(&y);
+        let z2 = a.transpose().matvec(&y);
+        assert!(z.max_abs_diff(&z2) < 1e-15);
+    }
+
+    #[test]
+    fn matmul_nt_tn_agree_with_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, -2.0, 0.0]]);
+        let nt = a.matmul_nt(&b);
+        assert!(nt.max_abs_diff(&a.matmul(&b.transpose())) < 1e-15);
+        let c = Tensor::from_rows(&[&[1.0, -1.0], &[0.0, 2.0]]);
+        let tn = c.matmul_tn(&a);
+        assert!(tn.max_abs_diff(&c.transpose().matmul(&a)) < 1e-15);
+    }
+
+    #[test]
+    fn basis_vector() {
+        let e = Tensor::basis(4, 2);
+        assert_eq!(e.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let t = Tensor::from_slice(&[1000.0, 1000.0, 999.0]);
+        let s = t.softmax();
+        assert!((s.sum() - 1.0).abs() < 1e-12);
+        assert!(s.as_slice().iter().all(|&p| p.is_finite() && p > 0.0));
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_slice(&[0.0, 5.0, 5.0, 1.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, -10.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, -3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let m = t.reshape([2, 3]);
+        assert_eq!(m.get2(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the tensor crate's numerical kernels.
+
+use proptest::prelude::*;
+use relock_tensor::im2col::{col2im, im2col, ConvGeometry};
+use relock_tensor::linalg::{preimage, QrFactors};
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+fn rand_matrix(seed: u64, m: usize, n: usize) -> Tensor {
+    Prng::seed_from_u64(seed).normal_tensor([m, n])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Matrix multiplication is associative (within floating tolerance).
+    #[test]
+    fn matmul_associative(seed in 0u64..10_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let (m, k, l, n) = (
+            1 + (seed as usize) % 5,
+            1 + (seed as usize / 5) % 5,
+            1 + (seed as usize / 25) % 5,
+            1 + (seed as usize / 125) % 5,
+        );
+        let a = rng.normal_tensor([m, k]);
+        let b = rng.normal_tensor([k, l]);
+        let c = rng.normal_tensor([l, n]);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    /// matmul_nt/matmul_tn agree with the explicit transpose forms.
+    #[test]
+    fn transposed_products_agree(seed in 0u64..10_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let (m, k, n) = (
+            1 + (seed as usize) % 6,
+            1 + (seed as usize / 7) % 6,
+            1 + (seed as usize / 49) % 6,
+        );
+        let a = rng.normal_tensor([m, k]);
+        let b = rng.normal_tensor([n, k]);
+        prop_assert!(a.matmul_nt(&b).max_abs_diff(&a.matmul(&b.transpose())) < 1e-12);
+        let c = rng.normal_tensor([k, m]);
+        let d = rng.normal_tensor([k, n]);
+        prop_assert!(c.matmul_tn(&d).max_abs_diff(&c.transpose().matmul(&d)) < 1e-12);
+    }
+
+    /// QR least squares reproduces planted solutions of tall systems.
+    #[test]
+    fn qr_solves_planted_tall_systems(seed in 0u64..10_000) {
+        let n = 2 + (seed as usize) % 6;
+        let m = n + (seed as usize / 7) % 6;
+        let a = rand_matrix(seed.wrapping_add(1), m, n);
+        let x_true = Prng::seed_from_u64(seed.wrapping_add(2)).normal_tensor([n]);
+        let b = a.matvec(&x_true);
+        let x = QrFactors::compute(&a).solve_least_squares(&b);
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-7, "m={m} n={n}");
+    }
+
+    /// The min-norm pre-image of a wide system is orthogonal to the null
+    /// space (that is what "minimum-norm" means).
+    #[test]
+    fn preimage_is_minimum_norm(seed in 0u64..10_000) {
+        let m = 2 + (seed as usize) % 4;
+        let n = m + 2 + (seed as usize / 11) % 6;
+        let a = rand_matrix(seed.wrapping_add(3), m, n);
+        let b = Prng::seed_from_u64(seed.wrapping_add(4)).normal_tensor([m]);
+        let p = preimage(&a, &b, 1e-8).expect("random wide systems are onto");
+        // Build a null vector: w − A⁺(Aw).
+        let w = Prng::seed_from_u64(seed.wrapping_add(5)).normal_tensor([n]);
+        let back = preimage(&a, &a.matvec(&w), 1e-8).expect("consistent");
+        let null = &w - &back.v;
+        prop_assert!(a.matvec(&null).norm_inf() < 1e-6);
+        prop_assert!(p.v.dot(&null).abs() < 1e-6);
+    }
+
+    /// im2col/col2im are adjoint for arbitrary geometries.
+    #[test]
+    fn im2col_adjoint(seed in 0u64..10_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let g = ConvGeometry {
+            in_channels: 1 + (seed as usize) % 3,
+            in_h: 4 + (seed as usize / 3) % 4,
+            in_w: 4 + (seed as usize / 12) % 4,
+            k_h: 1 + (seed as usize / 48) % 3,
+            k_w: 1 + (seed as usize / 144) % 3,
+            stride: 1 + (seed as usize / 432) % 2,
+            pad: (seed as usize / 864) % 2,
+        };
+        let x = rng.normal_tensor([g.in_channels * g.in_h * g.in_w]);
+        let y = rng.normal_tensor([g.out_positions(), g.patch_len()]);
+        let lhs = im2col(&x, &g).dot(&y);
+        let rhs = x.dot(&col2im(&y, &g));
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// The PRNG's uniform integers are bounded and its unit vectors are
+    /// normalized, for any seed.
+    #[test]
+    fn prng_contracts(seed in 0u64..10_000, n in 1usize..50) {
+        let mut rng = Prng::seed_from_u64(seed);
+        prop_assert!(rng.below(n) < n);
+        let v = rng.unit_vector(n);
+        prop_assert!((v.norm() - 1.0).abs() < 1e-12);
+        let idx = rng.choose_indices(n, n.min(5));
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        prop_assert_eq!(set.len(), idx.len());
+    }
+
+    /// Softmax output is a probability vector for any finite input.
+    #[test]
+    fn softmax_is_probability(v in proptest::collection::vec(-1e3f64..1e3, 1..20)) {
+        let s = Tensor::from_slice(&v).softmax();
+        prop_assert!((s.sum() - 1.0).abs() < 1e-9);
+        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

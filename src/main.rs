@@ -1,0 +1,298 @@
+//! `relock` — command-line front end for the workspace.
+//!
+//! ```text
+//! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
+//! relock inspect victim.rlk
+//! relock attack  victim.rlk [--monolithic] [--seed N] [--fast]
+//! ```
+//!
+//! `lock` plays the IP owner: builds one of the four §4.2 victims, embeds
+//! a random key, (optionally) trains the network as a function of that
+//! key, and writes the model file. `attack` plays the adversary: it reads
+//! the model file, treats the embedded key purely as the *hardware oracle*
+//! (never looking at it except to score fidelity at the end), and runs the
+//! DNN decryption attack or the monolithic baseline.
+
+use relock::prelude::*;
+use relock_attack::LearningConfig;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast]"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flag(name).and_then(|v| v.as_deref())
+    }
+
+    fn u64_value(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("--{name} expects a number")),
+        }
+    }
+}
+
+fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel, Dataset), String> {
+    let out = match arch {
+        "mlp" => {
+            let data = mnist_like(rng, 600, 200, 48);
+            let m = build_mlp(
+                &MlpSpec {
+                    input: 48,
+                    hidden: vec![32, 16],
+                    classes: 10,
+                },
+                LockSpec::evenly(bits),
+                rng,
+            )
+            .map_err(|e| e.to_string())?;
+            (m, data)
+        }
+        "lenet" => {
+            let data = cifar_like(rng, 400, 150, 1, 12, 12);
+            let m = build_lenet(
+                &LenetSpec {
+                    in_channels: 1,
+                    h: 12,
+                    w: 12,
+                    c1: 6,
+                    c2: 10,
+                    fc1: 24,
+                    fc2: 16,
+                    classes: 10,
+                },
+                LockSpec::evenly(bits),
+                rng,
+            )
+            .map_err(|e| e.to_string())?;
+            (m, data)
+        }
+        "resnet" => {
+            let data = cifar_like(rng, 350, 120, 3, 12, 12);
+            let m = build_resnet(
+                &ResnetSpec {
+                    in_channels: 3,
+                    h: 12,
+                    w: 12,
+                    stem: 8,
+                    stages: vec![
+                        relock::nn::StageSpec {
+                            channels: 8,
+                            blocks: 1,
+                            stride: 1,
+                        },
+                        relock::nn::StageSpec {
+                            channels: 16,
+                            blocks: 1,
+                            stride: 2,
+                        },
+                    ],
+                    classes: 10,
+                },
+                LockSpec::evenly(bits),
+                rng,
+            )
+            .map_err(|e| e.to_string())?;
+            (m, data)
+        }
+        "vit" => {
+            let data = cifar_like(rng, 400, 150, 3, 8, 8);
+            let m = build_vit(
+                &VitSpec {
+                    in_channels: 3,
+                    h: 8,
+                    w: 8,
+                    patch: 4,
+                    embed: 16,
+                    heads: 2,
+                    blocks: 2,
+                    mlp_hidden: 32,
+                    classes: 10,
+                },
+                LockSpec::evenly(bits),
+                rng,
+            )
+            .map_err(|e| e.to_string())?;
+            (m, data)
+        }
+        other => return Err(format!("unknown architecture '{other}'")),
+    };
+    Ok(out)
+}
+
+fn cmd_lock(args: &Args) -> Result<(), String> {
+    let arch = args.value("arch").ok_or("--arch is required")?.to_string();
+    let bits = args.u64_value("bits", 16)? as usize;
+    let out_path = args.value("out").ok_or("--out is required")?.to_string();
+    let seed = args.u64_value("seed", 42)?;
+    let mut rng = Prng::seed_from_u64(seed);
+    let (mut model, data) = build_victim(&arch, bits, &mut rng)?;
+    if args.flag("no-train").is_none() {
+        let summary = Trainer::default().fit(&mut model, &data, &mut rng);
+        println!(
+            "trained {arch} ({bits}-bit key): test accuracy {:.1}%",
+            100.0 * summary.final_test_accuracy
+        );
+    } else {
+        println!("built untrained {arch} ({bits}-bit key)");
+    }
+    let file = File::create(&out_path).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(file);
+    model.save(&mut w).map_err(|e| e.to_string())?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<LockedModel, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut r = BufReader::new(file);
+    LockedModel::load(&mut r).map_err(|e| e.to_string())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("inspect needs a model file")?;
+    let model = load_model(path)?;
+    let g = model.white_box();
+    println!("model: {path}");
+    println!("  input  : {} features", g.input_size());
+    println!("  output : {} logits", g.output_size());
+    println!("  nodes  : {}", g.nodes().len());
+    println!("  params : {}", g.param_count());
+    println!("  key    : {} bits", g.key_slot_count());
+    let sites = g.lock_sites();
+    let mut by_node: Vec<(NodeId, usize)> = Vec::new();
+    for s in &sites {
+        match by_node.last_mut() {
+            Some((n, c)) if *n == s.keyed_node => *c += 1,
+            _ => by_node.push((s.keyed_node, 1)),
+        }
+    }
+    for (node, count) in by_node {
+        println!(
+            "  layer {node}: {count} protected unit(s), layout {:?}",
+            sites
+                .iter()
+                .find(|s| s.keyed_node == node)
+                .map(|s| (s.layout.n_units, s.layout.unit_len))
+                .unwrap_or((0, 0))
+        );
+    }
+    let wl = g.weight_lock_slots();
+    if !wl.is_empty() {
+        println!("  weight-element locks: {}", wl.len());
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("attack needs a model file")?;
+    let seed = args.u64_value("seed", 7)?;
+    let model = load_model(path)?;
+    let oracle = CountingOracle::new(&model);
+    let mut rng = Prng::seed_from_u64(seed);
+    if args.flag("monolithic").is_some() {
+        let report = MonolithicAttack::new(MonolithicConfig {
+            learning: LearningConfig {
+                samples: 300,
+                ..LearningConfig::default()
+            },
+            input_scale: 3.0,
+        })
+        .run(model.white_box(), &oracle, &mut rng);
+        println!("monolithic learning attack:");
+        println!("  extracted key: {}", report.key);
+        println!(
+            "  fidelity {:.1}%   queries {}   time {:.2}s",
+            100.0 * report.key.fidelity(model.true_key()),
+            report.queries,
+            report.elapsed.as_secs_f64()
+        );
+        return Ok(());
+    }
+    let mut cfg = if args.flag("fast").is_some() {
+        AttackConfig::fast()
+    } else {
+        AttackConfig::default()
+    };
+    cfg.continue_on_failure = true;
+    let start = std::time::Instant::now();
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!("DNN decryption attack:");
+    println!("  extracted key: {}", report.key);
+    println!(
+        "  fidelity {:.1}%   queries {}   time {:.2}s   validated {}",
+        100.0 * report.fidelity(model.true_key()),
+        report.queries,
+        start.elapsed().as_secs_f64(),
+        report.fully_validated()
+    );
+    for p in Procedure::ALL {
+        println!(
+            "  {:<24}{:>8.3}s ({:>5.1}%)",
+            p.to_string(),
+            report.timing.of(p).as_secs_f64(),
+            100.0 * report.timing.fraction(p)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd.as_str() {
+        "lock" => cmd_lock(&args),
+        "inspect" => cmd_inspect(&args),
+        "attack" => cmd_attack(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Robustness study: how do cheap output-path countermeasures affect the
+//! decryption attack? (The paper's conclusion asks what would make DNN
+//! locking safe; these tests quantify the obvious tweaks.)
+
+use relock::locking::{LabelOnlyOracle, NoisyOracle, QuantizedOracle};
+use relock::prelude::*;
+
+fn victim(seed: u64) -> LockedModel {
+    let mut rng = Prng::seed_from_u64(seed);
+    build_mlp(
+        &MlpSpec {
+            input: 14,
+            hidden: vec![10, 8],
+            classes: 6,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .expect("spec fits")
+}
+
+/// Moderate output quantization does not stop the attack: the algebraic
+/// probes only need to distinguish "changed" from "unchanged", and a
+/// 4-decimal grid preserves that.
+#[test]
+fn quantization_to_4_decimals_does_not_stop_the_attack() {
+    let model = victim(1000);
+    let oracle = QuantizedOracle::new(CountingOracle::new(&model), 4);
+    let mut cfg = AttackConfig::fast();
+    // Quantization floors the distinguishable difference at ~1e-4, so the
+    // probes must move the output more than one quantization step, and
+    // "equal" must absorb a step of rounding jitter.
+    cfg.eq_tol = 2e-4;
+    cfg.diff_tol = 2e-3;
+    cfg.epsilon = 1e-2;
+    cfg.probe_delta = 1e-2;
+    cfg.kink_tol = 1e-4;
+    cfg.continue_on_failure = true;
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(1001))
+        .expect("attack completes");
+    assert!(
+        report.fidelity(model.true_key()) >= 0.99,
+        "fidelity {} under 4-decimal quantization",
+        report.fidelity(model.true_key())
+    );
+}
+
+/// Small Gaussian output noise degrades the algebraic path (its equality
+/// tests drown) but the learning attack still extracts most of the key —
+/// noise is not a defense, just a tax.
+#[test]
+fn small_noise_still_leaks_most_of_the_key() {
+    let model = victim(1010);
+    let oracle = NoisyOracle::new(CountingOracle::new(&model), 1e-3, 77);
+    let mut cfg = AttackConfig::fast();
+    cfg.continue_on_failure = true;
+    // The noise floor sits above the exact-arithmetic tolerances.
+    cfg.eq_tol = 5e-3;
+    cfg.diff_tol = 5e-2;
+    cfg.epsilon = 0.05;
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(1011))
+        .expect("attack completes");
+    assert!(
+        report.fidelity(model.true_key()) >= 0.7,
+        "fidelity {} under σ=1e-3 noise",
+        report.fidelity(model.true_key())
+    );
+}
+
+/// Label-only access genuinely cripples this attack family: the
+/// second-difference and equality probes see an almost-everywhere-constant
+/// function. (Decision-only extraction needs different machinery — a real
+/// limitation, matching the paper's logit-access assumption.)
+#[test]
+fn label_only_oracle_starves_the_attack_of_signal() {
+    let model = victim(1020);
+    let oracle = LabelOnlyOracle::new(CountingOracle::new(&model));
+    let mut cfg = AttackConfig::fast();
+    cfg.continue_on_failure = true;
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(1021))
+        .expect("attack completes without crashing");
+    // No exactness claim is possible here; the attack should at least not
+    // spuriously report success.
+    let fidelity = report.fidelity(model.true_key());
+    assert!(
+        !report.fully_validated() || fidelity >= 0.99,
+        "validation must not certify a key it could not test (fidelity {fidelity})"
+    );
+}

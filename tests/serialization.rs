@@ -1,0 +1,138 @@
+//! Round-trip tests of the on-disk model format across all architectures.
+
+use relock::prelude::*;
+
+fn round_trip(model: &LockedModel, probe_dim: usize, seed: u64) {
+    let mut buf = Vec::new();
+    model.save(&mut buf).expect("serialize");
+    let loaded = LockedModel::load(&mut buf.as_slice()).expect("deserialize");
+    assert_eq!(loaded.true_key(), model.true_key());
+    let mut rng = Prng::seed_from_u64(seed);
+    for _ in 0..5 {
+        let x = rng.normal_tensor([probe_dim]);
+        assert_eq!(
+            model.logits(&x).as_slice(),
+            loaded.logits(&x).as_slice(),
+            "loaded model must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn mlp_round_trips() {
+    let mut rng = Prng::seed_from_u64(600);
+    let m = build_mlp(
+        &MlpSpec {
+            input: 10,
+            hidden: vec![8, 6],
+            classes: 4,
+        },
+        LockSpec::evenly(6),
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 10, 601);
+}
+
+#[test]
+fn lenet_round_trips() {
+    let mut rng = Prng::seed_from_u64(610);
+    let m = build_lenet(
+        &LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 4,
+            c2: 6,
+            fc1: 12,
+            fc2: 8,
+            classes: 3,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 144, 611);
+}
+
+#[test]
+fn resnet_round_trips() {
+    let mut rng = Prng::seed_from_u64(620);
+    let m = build_resnet(
+        &ResnetSpec {
+            in_channels: 2,
+            h: 8,
+            w: 8,
+            stem: 4,
+            stages: vec![relock::nn::StageSpec {
+                channels: 4,
+                blocks: 1,
+                stride: 1,
+            }],
+            classes: 3,
+        },
+        LockSpec::evenly(6),
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 128, 621);
+}
+
+#[test]
+fn vit_round_trips() {
+    let mut rng = Prng::seed_from_u64(630);
+    let m = build_vit(
+        &VitSpec {
+            in_channels: 1,
+            h: 8,
+            w: 8,
+            patch: 4,
+            embed: 8,
+            heads: 2,
+            blocks: 2,
+            mlp_hidden: 12,
+            classes: 3,
+        },
+        LockSpec::evenly(6),
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 64, 631);
+}
+
+#[test]
+fn scale_variant_round_trips() {
+    let mut rng = Prng::seed_from_u64(640);
+    let m = build_mlp(
+        &MlpSpec {
+            input: 6,
+            hidden: vec![8],
+            classes: 3,
+        },
+        LockSpec::scale(4, 0.5),
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 6, 641);
+}
+
+#[test]
+fn weight_lock_variant_round_trips() {
+    let mut rng = Prng::seed_from_u64(650);
+    let m = build_mlp_weight_locked(
+        &MlpSpec {
+            input: 6,
+            hidden: vec![8],
+            classes: 3,
+        },
+        4,
+        &mut rng,
+    )
+    .unwrap();
+    round_trip(&m, 6, 651);
+}
+
+#[test]
+fn garbage_bytes_are_rejected() {
+    assert!(LockedModel::load(&mut &b"definitely not a model"[..]).is_err());
+}

@@ -1,0 +1,121 @@
+//! §3.9 generality: integration tests for the locking variants.
+
+use relock::prelude::*;
+
+/// Variant (a): multiplicative locking. The algebraic step is blind to it
+/// (no sign information at the hyperplane), but the continuous-relaxation
+/// learning attack plus validation recovers the key.
+#[test]
+fn multiplicative_lock_decrypts() {
+    let mut rng = Prng::seed_from_u64(9600);
+    let task = mnist_like(&mut rng, 250, 80, 16);
+    let spec = MlpSpec {
+        input: 16,
+        hidden: vec![12, 8],
+        classes: 10,
+    };
+    let mut model = build_mlp(&spec, LockSpec::scale(8, 0.25), &mut rng).expect("spec fits");
+    Trainer::quick().fit(&mut model, &task, &mut rng);
+
+    let oracle = CountingOracle::new(&model);
+    let mut cfg = AttackConfig::fast();
+    cfg.continue_on_failure = true;
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(9601))
+        .expect("attack completes");
+    assert!(
+        report.fidelity(model.true_key()) >= 0.99,
+        "fidelity {}",
+        report.fidelity(model.true_key())
+    );
+}
+
+/// Variant (b): weight-element locking, attacked by per-neuron hypothesis
+/// testing at white-box hyperplane witnesses.
+#[test]
+fn weight_element_lock_decrypts() {
+    let mut rng = Prng::seed_from_u64(9700);
+    let spec = MlpSpec {
+        input: 14,
+        hidden: vec![10, 8],
+        classes: 4,
+    };
+    let model = build_mlp_weight_locked(&spec, 8, &mut rng).expect("spec fits");
+    let oracle = CountingOracle::new(&model);
+    let report = weight_lock_attack(
+        model.white_box(),
+        &oracle,
+        &AttackConfig::fast(),
+        &mut Prng::seed_from_u64(9701),
+    );
+    assert_eq!(report.key.fidelity(model.true_key()), 1.0);
+    assert_eq!(report.unresolved_neurons, 0);
+}
+
+/// Variant (b) on a *trained* victim: functional equivalence of the
+/// extracted key (trained weights can make an individual bit nearly
+/// irrelevant, so the contract is equivalence, checked on many inputs).
+#[test]
+fn weight_element_lock_extraction_is_functionally_equivalent() {
+    let mut rng = Prng::seed_from_u64(9800);
+    let task = mnist_like(&mut rng, 250, 80, 14);
+    let spec = MlpSpec {
+        input: 14,
+        hidden: vec![10, 8],
+        classes: 10,
+    };
+    let mut model = build_mlp_weight_locked(&spec, 6, &mut rng).expect("spec fits");
+    Trainer::quick().fit(&mut model, &task, &mut rng);
+    let oracle = CountingOracle::new(&model);
+    let report = weight_lock_attack(
+        model.white_box(),
+        &oracle,
+        &AttackConfig::fast(),
+        &mut Prng::seed_from_u64(9801),
+    );
+    let mut max_diff = 0.0f64;
+    for _ in 0..50 {
+        let x = rng.normal_tensor([14]).scale(3.0);
+        let diff = model
+            .logits(&x)
+            .max_abs_diff(&model.logits_with(&x, &report.key));
+        max_diff = max_diff.max(diff);
+    }
+    assert!(
+        max_diff < 1e-9,
+        "extracted key is not functionally equivalent: max diff {max_diff}"
+    );
+}
+
+/// Variant (c): channel locking on a ViT's MLP features (one bit shared
+/// across all tokens) decrypts on a trained victim.
+#[test]
+fn vit_token_feature_locks_decrypt() {
+    let mut rng = Prng::seed_from_u64(9900);
+    let task = cifar_like(&mut rng, 250, 80, 1, 8, 8);
+    let spec = VitSpec {
+        in_channels: 1,
+        h: 8,
+        w: 8,
+        patch: 4,
+        embed: 12,
+        heads: 2,
+        blocks: 2,
+        mlp_hidden: 16,
+        classes: 10,
+    };
+    let mut model = build_vit(&spec, LockSpec::evenly(8), &mut rng).expect("spec fits");
+    Trainer::quick().fit(&mut model, &task, &mut rng);
+    let oracle = CountingOracle::new(&model);
+    let mut cfg = AttackConfig::fast();
+    cfg.continue_on_failure = true;
+    cfg.probe_delta = 1e-4;
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(9901))
+        .expect("attack completes");
+    assert!(
+        report.fidelity(model.true_key()) >= 0.99,
+        "fidelity {}",
+        report.fidelity(model.true_key())
+    );
+}
