@@ -1,13 +1,69 @@
-//! Criterion microbenchmarks of the attack's primitive operations.
+//! Microbenchmarks of the attack's primitive operations, using an in-tree
+//! timing harness (no external benchmark dependency).
+//!
+//! Gated behind the `microbench` feature so plain builds/tests never pay
+//! for it:
+//!
+//! ```text
+//! cargo bench -p relock-bench --bench micro --features microbench
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use relock_attack::{search_critical_point, AttackConfig};
 use relock_locking::{LockSpec, LockedModel};
 use relock_nn::{build_mlp, MlpSpec};
 use relock_tensor::linalg::preimage;
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Times `f` adaptively: warms up for ~200ms, then runs batches until
+/// ~1.5s of measurement, reporting mean/min per-iteration time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(200);
+    const MEASURE: Duration = Duration::from_millis(1500);
+
+    // Warm-up while estimating the per-iteration cost.
+    let mut iters: u64 = 0;
+    let warm = Instant::now();
+    while warm.elapsed() < WARMUP {
+        f();
+        iters += 1;
+    }
+    let per_iter = warm.elapsed().as_secs_f64() / iters as f64;
+    let batch = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 10_000);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let mut best = f64::INFINITY;
+    while total < MEASURE {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t.elapsed();
+        best = best.min(dt.as_secs_f64() / batch as f64);
+        total += dt;
+        total_iters += batch;
+    }
+    let mean = total.as_secs_f64() / total_iters as f64;
+    println!(
+        "{name:<32} mean {:>12}  min {:>12}  ({total_iters} iters)",
+        human(mean),
+        human(best)
+    );
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
 
 fn victim() -> LockedModel {
     let mut rng = Prng::seed_from_u64(500);
@@ -23,84 +79,51 @@ fn victim() -> LockedModel {
     .expect("spec fits")
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let m = victim();
-    let g = m.white_box();
-    let keys = m.true_key().to_assignment();
-    let mut rng = Prng::seed_from_u64(501);
-    let x = rng.normal_tensor([32, 64]);
-    c.bench_function("forward_batch32_mlp", |b| {
-        b.iter(|| std::hint::black_box(g.logits_batch(&x, &keys)))
-    });
-}
-
-fn bench_critical_point(c: &mut Criterion) {
+fn main() {
     let m = victim();
     let g = m.white_box();
     let keys = m.true_key().to_assignment();
     let cfg = AttackConfig::fast();
+
+    let mut rng = Prng::seed_from_u64(501);
+    let x32 = rng.normal_tensor([32, 64]);
+    bench("forward_batch32_mlp", || {
+        std::hint::black_box(g.logits_batch(&x32, &keys));
+    });
+
     let site = g.lock_sites()[0];
-    let mut rng = Prng::seed_from_u64(502);
-    c.bench_function("search_critical_point_mlp", |b| {
-        b.iter(|| {
-            std::hint::black_box(search_critical_point(
-                g,
-                &keys,
-                site.pre_node,
-                site.scalar_index(),
-                &cfg,
-                &mut rng,
-            ))
-        })
+    let mut cp_rng = Prng::seed_from_u64(502);
+    bench("search_critical_point_mlp", || {
+        std::hint::black_box(search_critical_point(
+            g,
+            &keys,
+            site.pre_node,
+            site.scalar_index(),
+            &cfg,
+            &mut cp_rng,
+        ));
     });
-}
 
-fn bench_jacobian(c: &mut Criterion) {
-    let m = victim();
-    let g = m.white_box();
-    let keys = m.true_key().to_assignment();
-    let mut rng = Prng::seed_from_u64(503);
-    let x = rng.normal_tensor([64]);
-    let acts = g.forward(&x, &keys);
-    // Second hidden layer's pre-activation node.
-    let site = *g.lock_sites().last().expect("locked");
-    c.bench_function("input_jacobian_layer2_mlp", |b| {
-        b.iter(|| std::hint::black_box(g.input_jacobian(&acts, site.pre_node, &keys)))
+    let mut jac_rng = Prng::seed_from_u64(503);
+    let x1 = jac_rng.normal_tensor([64]);
+    let acts = g.forward(&x1, &keys);
+    let last_site = *g.lock_sites().last().expect("locked");
+    bench("input_jacobian_layer2_mlp", || {
+        std::hint::black_box(g.input_jacobian(&acts, last_site.pre_node, &keys));
     });
-}
 
-fn bench_preimage(c: &mut Criterion) {
-    let mut rng = Prng::seed_from_u64(504);
-    let a = rng.normal_tensor([24, 64]);
+    let mut pre_rng = Prng::seed_from_u64(504);
+    let a = pre_rng.normal_tensor([24, 64]);
     let e = Tensor::basis(24, 7);
-    c.bench_function("preimage_24x64", |b| {
-        b.iter(|| std::hint::black_box(preimage(&a, &e, 1e-8)))
+    bench("preimage_24x64", || {
+        std::hint::black_box(preimage(&a, &e, 1e-8));
     });
-}
 
-fn bench_backward(c: &mut Criterion) {
-    let m = victim();
-    let g = m.white_box();
-    let keys = m.true_key().to_assignment();
-    let mut rng = Prng::seed_from_u64(505);
-    let x = rng.normal_tensor([16, 64]);
-    let acts = g.forward(&x, &keys);
+    let mut back_rng = Prng::seed_from_u64(505);
+    let x16 = back_rng.normal_tensor([16, 64]);
+    let acts16 = g.forward(&x16, &keys);
     let grad = Tensor::ones([16, 10]);
-    c.bench_function("backward_batch16_mlp", |b| {
-        b.iter(|| std::hint::black_box(g.backward(&acts, &grad, &keys)))
+    bench("backward_batch16_mlp", || {
+        std::hint::black_box(g.backward(&acts16, &grad, &keys));
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_forward, bench_critical_point, bench_jacobian, bench_preimage, bench_backward
-}
-criterion_main!(benches);

@@ -3,12 +3,14 @@
 //! Run with `cargo bench -p relock-bench --bench table1`; control the grid
 //! with `RELOCK_SCALE` / `RELOCK_ARCHS` / `RELOCK_KEYS`.
 
-use relock_bench::{print_table1, run_grid, table1_csv, Scale};
+use relock_bench::{print_broker_stats, print_table1, run_grid, table1_csv, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let rows = run_grid(scale, true);
     print_table1(&rows);
+    println!();
+    print_broker_stats(&rows);
     if let Ok(path) = std::env::var("RELOCK_CSV") {
         std::fs::write(&path, table1_csv(&rows)).expect("write csv");
         eprintln!("csv written to {path}");

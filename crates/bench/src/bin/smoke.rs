@@ -2,7 +2,8 @@
 //! ground-truth per-layer diagnostics.
 use relock_attack::Decryptor;
 use relock_bench::{attack_config, prepare, Arch, Scale};
-use relock_locking::CountingOracle;
+use relock_locking::{CountingOracle, Oracle};
+use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::time::Instant;
 
@@ -35,11 +36,19 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     let oracle = CountingOracle::new(&p.model);
+    let cfg = attack_config(arch, Scale::Fast);
+    let broker = Broker::with_config(
+        &oracle,
+        BrokerConfig {
+            max_queries: cfg.query_budget,
+            ..BrokerConfig::default()
+        },
+    );
     let t1 = Instant::now();
-    let report = Decryptor::new(attack_config(arch, Scale::Fast))
-        .run(
+    let report = Decryptor::new(cfg)
+        .run_brokered(
             p.model.white_box(),
-            &oracle,
+            &broker,
             &mut Prng::seed_from_u64(attack_seed),
         )
         .unwrap();
@@ -49,6 +58,16 @@ fn main() {
         report.queries,
         t1.elapsed().as_secs_f64()
     );
+    println!(
+        "broker: underlying queries={} cache-hit rate={:.1}% ({} of {} requested rows served from cache)",
+        report.stats.underlying,
+        100.0 * report.stats.cache_hit_rate(),
+        report.stats.cache_hits,
+        report.stats.requested,
+    );
+    // Sanity: the backend saw exactly what the broker billed.
+    assert_eq!(oracle.query_count(), report.stats.underlying);
+    print!("{}", report.stats);
     // Per-layer ground truth.
     let sites = p.model.white_box().lock_sites();
     for lr in &report.layers {

@@ -20,7 +20,8 @@
 //! `RELOCK_KEYS=small,medium,large`.
 
 use relock_attack::{
-    AttackConfig, Decryptor, LearningConfig, MonolithicAttack, MonolithicConfig, TimingBreakdown,
+    AttackConfig, Decryptor, LearningConfig, MonolithicAttack, MonolithicConfig,
+    QueryStatsSnapshot, TimingBreakdown,
 };
 use relock_data::{cifar_like, mnist_like, Dataset};
 use relock_locking::{CountingOracle, Key, LockSpec, LockedModel};
@@ -28,6 +29,7 @@ use relock_nn::{
     build_lenet, build_mlp, build_resnet, build_vit, LenetSpec, MlpSpec, ResnetSpec, Trainer,
     VitSpec,
 };
+use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::time::Instant;
 
@@ -307,8 +309,11 @@ pub struct AttackRow {
     pub fidelity: f64,
     /// Wall-clock seconds.
     pub time_s: f64,
-    /// Oracle queries spent.
+    /// Underlying oracle queries spent (cache hits are free — see the
+    /// `relock-serve` query accounting semantics).
     pub queries: u64,
+    /// Fraction of requested rows the broker served from its memo cache.
+    pub cache_hit_rate: f64,
 }
 
 /// The attack configuration used for an architecture at a scale.
@@ -372,23 +377,32 @@ pub fn run_monolithic(p: &Prepared, scale: Scale, seed: u64) -> AttackRow {
         fidelity: report.key.fidelity(p.model.true_key()),
         time_s: report.elapsed.as_secs_f64(),
         queries: report.queries,
+        cache_hit_rate: report.stats.cache_hit_rate(),
     }
 }
 
 /// Runs the full DNN decryption attack (Algorithm 2) and fills its row,
-/// also returning the Figure 3 timing breakdown.
+/// also returning the Figure 3 timing breakdown and the broker's query
+/// accounting (underlying queries, cache effectiveness, batch shapes).
 pub fn run_decryption(
     p: &Prepared,
     arch: Arch,
     scale: Scale,
     seed: u64,
-) -> (AttackRow, TimingBreakdown) {
+) -> (AttackRow, TimingBreakdown, QueryStatsSnapshot) {
     let oracle = CountingOracle::new(&p.model);
     let mut rng = Prng::seed_from_u64(seed);
     let cfg = attack_config(arch, scale);
+    let broker = Broker::with_config(
+        &oracle,
+        BrokerConfig {
+            max_queries: cfg.query_budget,
+            ..BrokerConfig::default()
+        },
+    );
     let start = Instant::now();
     let report = Decryptor::new(cfg)
-        .run(p.model.white_box(), &oracle, &mut rng)
+        .run_brokered(p.model.white_box(), &broker, &mut rng)
         .expect("continue_on_failure keeps the run alive");
     let elapsed = start.elapsed().as_secs_f64();
     (
@@ -401,8 +415,10 @@ pub fn run_decryption(
             fidelity: report.fidelity(p.model.true_key()),
             time_s: elapsed,
             queries: report.queries,
+            cache_hit_rate: report.stats.cache_hit_rate(),
         },
         report.timing,
+        report.stats,
     )
 }
 
@@ -501,6 +517,9 @@ pub struct Table1Row {
     pub decryption: AttackRow,
     /// Figure 3 per-procedure timing of the decryption attack.
     pub timing: TimingBreakdown,
+    /// Query-broker accounting of the decryption attack (underlying
+    /// queries, cache hits, batch-size histogram, oracle latency).
+    pub stats: QueryStatsSnapshot,
 }
 
 /// Runs the experiment grid, honouring the `RELOCK_ARCHS` / `RELOCK_KEYS`
@@ -529,13 +548,14 @@ pub fn run_grid(scale: Scale, with_monolithic: bool) -> Vec<Table1Row> {
                 None
             };
             eprintln!("[grid] {} {bits}-bit: DNN decryption attack…", arch.name());
-            let (decryption, timing) = run_decryption(&p, arch, scale, seed + 3);
+            let (decryption, timing, stats) = run_decryption(&p, arch, scale, seed + 3);
             eprintln!(
-                "[grid] {} {bits}-bit done: fidelity {:.3} in {:.1}s / {} queries",
+                "[grid] {} {bits}-bit done: fidelity {:.3} in {:.1}s / {} underlying queries ({:.1}% cache hits)",
                 arch.name(),
                 decryption.fidelity,
                 decryption.time_s,
-                decryption.queries
+                decryption.queries,
+                100.0 * decryption.cache_hit_rate,
             );
             rows.push(Table1Row {
                 arch,
@@ -545,6 +565,7 @@ pub fn run_grid(scale: Scale, with_monolithic: bool) -> Vec<Table1Row> {
                 monolithic,
                 decryption,
                 timing,
+                stats,
             });
         }
     }
@@ -556,7 +577,7 @@ pub fn print_table1(rows: &[Table1Row]) {
     println!("Table 1: Experiment results of attacks against logic locking on DNNs.");
     println!("(synthetic stand-in datasets; scaled victims — see DESIGN.md §2)\n");
     println!(
-        "{:<22}{:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+        "{:<22}{:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9}",
         "DNN (Dataset)",
         "Key",
         "Orig",
@@ -568,7 +589,8 @@ pub fn print_table1(rows: &[Table1Row]) {
         "Dec Acc",
         "Dec Fid",
         "Dec t(s)",
-        "Dec #Q"
+        "Dec #Q",
+        "Dec Hit%"
     );
     for r in rows {
         let label = format!("{} ({})", r.arch.name(), r.arch.dataset_name());
@@ -582,7 +604,7 @@ pub fn print_table1(rows: &[Table1Row]) {
             None => ("-".into(), "-".into(), "-".into(), "-".into()),
         };
         println!(
-            "{:<22}{:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9}",
+            "{:<22}{:>6} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} {:>9} {:>9}",
             label,
             r.key_bits,
             format!("{:.1}%", 100.0 * r.original),
@@ -595,7 +617,20 @@ pub fn print_table1(rows: &[Table1Row]) {
             format!("{:.1}%", 100.0 * r.decryption.fidelity),
             format!("{:.2}", r.decryption.time_s),
             format!("{}", r.decryption.queries),
+            format!("{:.1}%", 100.0 * r.decryption.cache_hit_rate),
         );
+    }
+}
+
+/// Prints the broker's serving metrics for each decryption run — the
+/// observability companion to Table 1's `#Q` column (cache hits are free;
+/// `#Q` counts underlying oracle rows only).
+pub fn print_broker_stats(rows: &[Table1Row]) {
+    println!("Query-broker accounting (relock-serve) per decryption run.\n");
+    for r in rows {
+        println!("{} {}-bit:", r.arch.name(), r.key_bits);
+        print!("{}", r.stats);
+        println!();
     }
 }
 
@@ -630,7 +665,7 @@ pub fn print_fig3(rows: &[Table1Row]) {
 pub fn table1_csv(rows: &[Table1Row]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "arch,dataset,key_bits,original_acc,baseline_acc,mono_acc,mono_fidelity,mono_time_s,mono_queries,dec_acc,dec_fidelity,dec_time_s,dec_queries\n",
+        "arch,dataset,key_bits,original_acc,baseline_acc,mono_acc,mono_fidelity,mono_time_s,mono_queries,dec_acc,dec_fidelity,dec_time_s,dec_queries,dec_cache_hit_rate\n",
     );
     for r in rows {
         let (ma, mf, mt, mq) = match &r.monolithic {
@@ -644,7 +679,7 @@ pub fn table1_csv(rows: &[Table1Row]) -> String {
         };
         writeln!(
             out,
-            "{},{},{},{:.4},{:.4},{},{},{},{},{:.4},{:.4},{:.3},{}",
+            "{},{},{},{:.4},{:.4},{},{},{},{},{:.4},{:.4},{:.3},{},{:.4}",
             r.arch.name(),
             r.arch.dataset_name(),
             r.key_bits,
@@ -657,7 +692,8 @@ pub fn table1_csv(rows: &[Table1Row]) -> String {
             r.decryption.accuracy,
             r.decryption.fidelity,
             r.decryption.time_s,
-            r.decryption.queries
+            r.decryption.queries,
+            r.decryption.cache_hit_rate
         )
         .expect("string write");
     }
@@ -703,14 +739,17 @@ mod csv_tests {
                 fidelity: 1.0,
                 time_s: 1.5,
                 queries: 200,
+                cache_hit_rate: 0.0,
             }),
             decryption: AttackRow {
                 accuracy: 0.95,
                 fidelity: 1.0,
                 time_s: 0.2,
                 queries: 260,
+                cache_hit_rate: 0.25,
             },
             timing: TimingBreakdown::new(),
+            stats: QueryStatsSnapshot::default(),
         }
     }
 

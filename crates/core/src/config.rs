@@ -113,6 +113,13 @@ pub struct AttackConfig {
     /// still satisfies `Âv = e` but inflates ‖v‖, pushing the ε-probes out
     /// of the linear region.
     pub preimage_perturbation: f64,
+    /// Underlying oracle-query budget for a [`Decryptor::run`] session
+    /// (`None` = unlimited). Enforced by the query broker the run wraps
+    /// around the oracle: cache hits stay free, and exhaustion degrades
+    /// the attack to its learned candidates instead of aborting it.
+    ///
+    /// [`Decryptor::run`]: crate::Decryptor::run
+    pub query_budget: Option<u64>,
 }
 
 impl Default for AttackConfig {
@@ -146,6 +153,7 @@ impl Default for AttackConfig {
             threads: 1,
             disable_algebraic: false,
             preimage_perturbation: 0.0,
+            query_budget: None,
         }
     }
 }

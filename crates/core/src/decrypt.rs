@@ -19,10 +19,11 @@ use crate::correct::correction_candidates;
 use crate::error::AttackError;
 use crate::infer::key_bit_inference;
 use crate::learning::{learning_attack, LearnedMultipliers};
-use crate::telemetry::{Procedure, TimingBreakdown};
-use crate::validate::{key_vector_validation_verdict, ValidationTarget, ValidationVerdict};
+use crate::telemetry::{Procedure, QueryStatsSnapshot, TimingBreakdown};
+use crate::validate::{key_vector_validation_checked, ValidationTarget, ValidationVerdict};
 use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId};
 use relock_locking::{Key, Oracle};
+use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -55,8 +56,14 @@ pub struct DecryptionReport {
     pub key: Key,
     /// Wall-clock breakdown over the four procedures (Figure 3).
     pub timing: TimingBreakdown,
-    /// Total oracle queries spent (Table 1's query-complexity column).
+    /// Underlying oracle queries spent by this run (Table 1's
+    /// query-complexity column). Cache hits inside the query broker are
+    /// free and not counted here.
     pub queries: u64,
+    /// Broker metrics of the run: per-procedure query accounting, cache
+    /// hit rate, batch-size histogram, backend latency. Cumulative over
+    /// the broker's lifetime when a caller reuses one across runs.
+    pub stats: QueryStatsSnapshot,
     /// Per-layer statistics in processing order.
     pub layers: Vec<LayerReport>,
 }
@@ -98,6 +105,13 @@ impl Decryptor {
     /// Runs the full attack against `oracle` using the public `white_box`
     /// network description.
     ///
+    /// All oracle traffic is routed through a fresh `relock-serve`
+    /// [`Broker`]: responses are memoized (repeat probes are free),
+    /// [`AttackConfig::query_budget`] is enforced, and the returned
+    /// report carries the broker's query-accounting snapshot. To share a
+    /// broker (and its cache/budget) across runs, or to configure workers,
+    /// deadlines, and retries, use [`Decryptor::run_brokered`].
+    ///
     /// # Errors
     ///
     /// Returns [`AttackError::OracleMismatch`] on dimension mismatch and
@@ -109,7 +123,36 @@ impl Decryptor {
         oracle: &dyn Oracle,
         rng: &mut Prng,
     ) -> Result<DecryptionReport, AttackError> {
+        let broker = Broker::with_config(
+            oracle,
+            BrokerConfig {
+                max_queries: self.cfg.query_budget,
+                ..BrokerConfig::default()
+            },
+        );
+        self.run_brokered(white_box, &broker, rng)
+    }
+
+    /// Runs the full attack through a caller-supplied [`Broker`].
+    ///
+    /// Procedure scopes are tagged on the broker, so its snapshot breaks
+    /// query counts down by `key_bit_inference` / `learning_attack` /
+    /// `key_vector_validation` / `error_correction`. If the broker's
+    /// budget or deadline runs out mid-attack, the run **degrades** rather
+    /// than fails: unprobeable layers commit their learned candidates with
+    /// `validated = false` in the [`LayerReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::run`].
+    pub fn run_brokered<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+    ) -> Result<DecryptionReport, AttackError> {
         let cfg = &self.cfg;
+        let oracle: &dyn Oracle = broker;
         if oracle.input_dim() != white_box.input_size() {
             return Err(AttackError::OracleMismatch {
                 expect_in: white_box.input_size(),
@@ -151,6 +194,7 @@ impl Decryptor {
             let inferred: Vec<(KeySlot, Option<bool>)> = if cfg.disable_algebraic {
                 layer_sites.iter().map(|s| (s.slot, None)).collect()
             } else {
+                broker.set_scope(Some(Procedure::KeyBitInference.label()));
                 timing.time(Procedure::KeyBitInference, || {
                     self.infer_layer(white_box, &ka, layer_sites, oracle, rng)
                 })
@@ -181,6 +225,7 @@ impl Decryptor {
                 for (_, later_sites) in &layers[li + 1..] {
                     free.extend(later_sites.iter().map(|s| s.slot));
                 }
+                broker.set_scope(Some(Procedure::LearningAttack.label()));
                 let learned = timing.time(Procedure::LearningAttack, || {
                     learning_attack(
                         white_box,
@@ -215,17 +260,28 @@ impl Decryptor {
                 .get(li + 1)
                 .map(|(_, next_sites)| self.validation_target(white_box, next_sites, rng));
             report.validation_rounds = 1;
-            let mut ok = !matches!(
-                timing.time(Procedure::KeyVectorValidation, || {
-                    key_vector_validation_verdict(white_box, &ka, target.as_ref(), oracle, cfg, rng)
-                }),
-                ValidationVerdict::Fail
-            );
+            broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
+            // A starved oracle (budget/deadline/backend gone) cannot judge
+            // the candidate; the run degrades by committing the learned
+            // bits unvalidated and pressing on — §3.6's learning path is
+            // the fallback the paper's adversary is left with.
+            let mut starved = false;
+            let mut ok = match timing.time(Procedure::KeyVectorValidation, || {
+                key_vector_validation_checked(white_box, &ka, target.as_ref(), oracle, cfg, rng)
+            }) {
+                Ok(v) => !matches!(v, ValidationVerdict::Fail),
+                Err(_) => {
+                    starved = true;
+                    report.validated = false;
+                    true
+                }
+            };
             if !ok && !unresolved.is_empty() {
                 // Cheap first remedy: one fresh learning round (new oracle
                 // samples, cold-started θ) often repairs several bits at
                 // once, where the Hamming search below pays one validation
                 // per candidate.
+                broker.set_scope(Some(Procedure::LearningAttack.label()));
                 let relearned = timing.time(Procedure::LearningAttack, || {
                     let mut free: Vec<KeySlot> = unresolved.clone();
                     for (_, later_sites) in &layers[li + 1..] {
@@ -253,19 +309,17 @@ impl Decryptor {
                     ka.set_bit(slot, m < 0.0);
                 }
                 report.validation_rounds += 1;
-                ok = !matches!(
-                    timing.time(Procedure::KeyVectorValidation, || {
-                        key_vector_validation_verdict(
-                            white_box,
-                            &ka,
-                            target.as_ref(),
-                            oracle,
-                            cfg,
-                            rng,
-                        )
-                    }),
-                    ValidationVerdict::Fail
-                );
+                broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
+                ok = match timing.time(Procedure::KeyVectorValidation, || {
+                    key_vector_validation_checked(white_box, &ka, target.as_ref(), oracle, cfg, rng)
+                }) {
+                    Ok(v) => !matches!(v, ValidationVerdict::Fail),
+                    Err(_) => {
+                        starved = true;
+                        report.validated = false;
+                        true
+                    }
+                };
                 if !ok {
                     // Keep whichever candidate the correction search should
                     // start from: the re-learned one (fresher confidences).
@@ -273,6 +327,7 @@ impl Decryptor {
                 }
             }
             if !ok {
+                broker.set_scope(Some(Procedure::ErrorCorrection.label()));
                 let corr_start = Instant::now();
                 let layer_slots: Vec<KeySlot> = layer_sites.iter().map(|s| s.slot).collect();
                 let conf_vec: Vec<f64> = layer_slots
@@ -315,15 +370,15 @@ impl Decryptor {
                     }
                     // Correction candidates must produce affirmative
                     // evidence: NoEvidence counts as failure here.
-                    if key_vector_validation_verdict(
+                    let verdict = key_vector_validation_checked(
                         white_box,
                         &ka,
                         target.as_ref(),
                         oracle,
                         cfg,
                         rng,
-                    ) == ValidationVerdict::Pass
-                    {
+                    );
+                    if verdict == Ok(ValidationVerdict::Pass) {
                         applied = Some(cand.clone());
                         break;
                     }
@@ -333,6 +388,12 @@ impl Decryptor {
                         let cur = ka.to_bits()[s.index()];
                         ka.set_bit(s, !cur);
                     }
+                    if verdict.is_err() {
+                        // Out of budget mid-search: keep the pre-correction
+                        // learned candidate and stop burning wall clock.
+                        starved = true;
+                        break;
+                    }
                 }
                 timing.add(Procedure::ErrorCorrection, corr_start.elapsed());
                 match applied {
@@ -340,7 +401,7 @@ impl Decryptor {
                         report.corrected = cand.len();
                         ok = true;
                     }
-                    None if cfg.continue_on_failure => {
+                    None if starved || cfg.continue_on_failure => {
                         report.validated = false;
                     }
                     None => {
@@ -360,10 +421,12 @@ impl Decryptor {
             layers_out.push(report);
         }
 
+        broker.set_scope(None);
         Ok(DecryptionReport {
             key: Key::from_bits(ka.to_bits()),
             timing,
             queries: oracle.query_count() - start_queries,
+            stats: broker.snapshot(),
             layers: layers_out,
         })
     }

@@ -1,6 +1,7 @@
 //! Attack errors.
 
 use relock_graph::NodeId;
+use relock_locking::OracleError;
 use std::fmt;
 
 /// Errors raised by the decryption algorithm.
@@ -24,6 +25,16 @@ pub enum AttackError {
         /// Oracle input width.
         got_in: usize,
     },
+    /// The oracle (or its broker) failed in a way no procedure could
+    /// degrade around — e.g. budget exhaustion before any key candidate
+    /// existed, or a backend that stayed down through every retry.
+    Oracle(OracleError),
+}
+
+impl From<OracleError> for AttackError {
+    fn from(e: OracleError) -> Self {
+        AttackError::Oracle(e)
+    }
 }
 
 impl fmt::Display for AttackError {
@@ -41,6 +52,7 @@ impl fmt::Display for AttackError {
                 f,
                 "oracle input width {got_in} does not match white-box input {expect_in}"
             ),
+            AttackError::Oracle(e) => write!(f, "oracle failure: {e}"),
         }
     }
 }

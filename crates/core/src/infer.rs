@@ -119,13 +119,29 @@ pub fn key_bit_inference(
         }
         let Some((xp, xm)) = probes else { continue };
 
-        // Query the oracle at the witness and both probes (3 queries).
-        let o0 = oracle.query(&cp.x);
-        let op = oracle.query(&xp);
-        let om = oracle.query(&xm);
-        let scale = o0.norm_inf().max(1.0);
-        let dp = op.max_abs_diff(&o0) / scale;
-        let dm = om.max_abs_diff(&o0) / scale;
+        // Query the oracle at the witness and both probes — one 3-row
+        // batch, so a broker charges/dispatches it as a single request. An
+        // oracle failure (budget, deadline, dead backend) maps to ⊥: the
+        // decryptor's learning fallback owns those slots anyway.
+        let mut pts = Vec::with_capacity(3 * p);
+        pts.extend_from_slice(cp.x.as_slice());
+        pts.extend_from_slice(xp.as_slice());
+        pts.extend_from_slice(xm.as_slice());
+        let Ok(out) = oracle.try_query_batch(&Tensor::from_vec(pts, [3, p])) else {
+            return None;
+        };
+        let q = out.dims()[1];
+        let (o0, op, om) = (out.row(0), out.row(1), out.row(2));
+        let mut scale = 1.0f64;
+        let mut dp = 0.0f64;
+        let mut dm = 0.0f64;
+        for i in 0..q {
+            scale = scale.max(o0[i].abs());
+            dp = dp.max((op[i] - o0[i]).abs());
+            dm = dm.max((om[i] - o0[i]).abs());
+        }
+        dp /= scale;
+        dm /= scale;
         // Lemma 2 contrapositive (Algorithm 1 lines 9–10): a changed output
         // on the +ε side means the ReLU opened there, i.e. no flip (K=0);
         // a changed output on the −ε side means the flip is present (K=1).

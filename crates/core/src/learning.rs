@@ -38,6 +38,7 @@ fn atanh_clamped(m: f64) -> f64 {
 ///   cheap).
 ///
 /// Returns the final multiplier per free slot.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's procedure signature
 pub fn learning_attack(
     g: &Graph,
     oracle: &dyn Oracle,
@@ -71,9 +72,28 @@ pub fn learning_attack(
         ka.set(*s, theta[i].tanh());
     }
 
-    // Oracle-labelled training set: random inputs, one query per row.
-    let x = rng.normal_tensor([cfg.samples, p]).scale(input_scale);
-    let y = oracle.query_batch(&x);
+    // Oracle-labelled training set: random inputs, one query per row. A
+    // budgeted oracle may afford fewer than `cfg.samples` rows — harvest
+    // what it can pay for; if it can pay for nothing (or the backend is
+    // gone), return the warm start unchanged: a degraded-but-usable
+    // candidate beats a panic.
+    let samples = match oracle.remaining_budget() {
+        Some(left) => (left.min(cfg.samples as u64)) as usize,
+        None => cfg.samples,
+    };
+    let fallback = || -> LearnedMultipliers {
+        free_slots
+            .iter()
+            .map(|s| (*s, warm_start.get(s).copied().unwrap_or(0.0)))
+            .collect()
+    };
+    if samples == 0 {
+        return fallback();
+    }
+    let x = rng.normal_tensor([samples, p]).scale(input_scale);
+    let Ok(y) = oracle.try_query_batch(&x) else {
+        return fallback();
+    };
     let q = y.dims()[1];
     // A probability oracle (§2.3 "output vector") is matched in
     // probability space, chaining the softmax into the gradient.
@@ -88,7 +108,7 @@ pub fn learning_attack(
     let mut stale_epochs = 0usize;
 
     for _ in 0..cfg.epochs {
-        let mut order: Vec<usize> = (0..cfg.samples).collect();
+        let mut order: Vec<usize> = (0..samples).collect();
         rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;

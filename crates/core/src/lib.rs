@@ -18,6 +18,12 @@
 //! | §4.3 monolithic learning baseline | [`MonolithicAttack`] |
 //! | Figure 3 per-procedure timing | [`TimingBreakdown`] |
 //!
+//! Oracle traffic is routed through the `relock-serve` query broker
+//! ([`Decryptor::run`] wraps any oracle automatically;
+//! [`Decryptor::run_brokered`] accepts a pre-configured broker), which
+//! adds memoization, query budgets, retries, and the per-procedure query
+//! accounting surfaced in [`DecryptionReport::stats`].
+//!
 //! ## Example
 //!
 //! ```
@@ -62,8 +68,9 @@ pub use error::AttackError;
 pub use infer::key_bit_inference;
 pub use learning::{learning_attack, round_to_bits, LearnedMultipliers};
 pub use monolithic::{MonolithicAttack, MonolithicConfig, MonolithicReport};
-pub use telemetry::{Procedure, TimingBreakdown};
+pub use telemetry::{Procedure, QueryStats, QueryStatsSnapshot, ScopeCounts, TimingBreakdown};
 pub use validate::{
-    key_vector_validation, key_vector_validation_verdict, ValidationTarget, ValidationVerdict,
+    key_vector_validation, key_vector_validation_checked, key_vector_validation_verdict,
+    ValidationTarget, ValidationVerdict,
 };
 pub use weightlock::{weight_lock_attack, WeightLockReport};

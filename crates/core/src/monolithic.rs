@@ -9,8 +9,10 @@
 
 use crate::config::LearningConfig;
 use crate::learning::{learning_attack, round_to_bits, LearnedMultipliers};
+use crate::telemetry::{Procedure, QueryStatsSnapshot};
 use relock_graph::{Graph, KeySlot};
 use relock_locking::{Key, Oracle};
+use relock_serve::Broker;
 use relock_tensor::rng::Prng;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -52,6 +54,8 @@ pub struct MonolithicReport {
     pub elapsed: Duration,
     /// Oracle queries spent.
     pub queries: u64,
+    /// Broker-side query accounting (cache hits, batches, latency).
+    pub stats: QueryStatsSnapshot,
 }
 
 /// The monolithic learning-based attack.
@@ -67,13 +71,19 @@ impl MonolithicAttack {
     }
 
     /// Runs the baseline against `oracle`.
+    ///
+    /// Traffic is routed through a `relock-serve` [`Broker`] like the
+    /// decryption attack's, so the reported query count follows the same
+    /// accounting semantics (underlying rows; cache hits free).
     pub fn run(&self, white_box: &Graph, oracle: &dyn Oracle, rng: &mut Prng) -> MonolithicReport {
         let start = Instant::now();
-        let start_queries = oracle.query_count();
+        let broker = Broker::new(oracle);
+        broker.set_scope(Some(Procedure::LearningAttack.label()));
+        let start_queries = broker.query_count();
         let free: Vec<KeySlot> = (0..white_box.key_slot_count()).map(KeySlot).collect();
         let learned = learning_attack(
             white_box,
-            oracle,
+            &broker,
             &HashMap::new(),
             &free,
             &LearnedMultipliers::new(),
@@ -90,11 +100,13 @@ impl MonolithicAttack {
             .iter()
             .map(|s| learned.get(s).copied().unwrap_or(0.0))
             .collect();
+        broker.set_scope(None);
         MonolithicReport {
             key: Key::from_bits(bits),
             multipliers,
             elapsed: start.elapsed(),
-            queries: oracle.query_count() - start_queries,
+            queries: broker.query_count() - start_queries,
+            stats: broker.snapshot(),
         }
     }
 }

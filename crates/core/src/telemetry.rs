@@ -1,4 +1,8 @@
-//! Per-procedure timing, the raw material of the paper's Figure 3.
+//! Per-procedure timing, the raw material of the paper's Figure 3, plus
+//! the query-broker metrics that accompany it (re-exported from
+//! `relock-serve` so attack reports carry both time and query accounting).
+
+pub use relock_serve::{QueryStats, QueryStatsSnapshot, ScopeCounts};
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -24,17 +28,22 @@ impl Procedure {
         Procedure::KeyVectorValidation,
         Procedure::ErrorCorrection,
     ];
-}
 
-impl fmt::Display for Procedure {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// Static name, shared with the query broker's per-scope accounting
+    /// (`Broker::set_scope` wants a `&'static str`).
+    pub const fn label(self) -> &'static str {
+        match self {
             Procedure::KeyBitInference => "key_bit_inference",
             Procedure::LearningAttack => "learning_attack",
             Procedure::KeyVectorValidation => "key_vector_validation",
             Procedure::ErrorCorrection => "error_correction",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::config::AttackConfig;
 use crate::critical::{search_target_critical_point, TargetScalar};
 use relock_graph::{Graph, KeyAssignment, KeySlot, NodeId, UnitLayout};
-use relock_locking::Oracle;
+use relock_locking::{Oracle, OracleError};
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
 
@@ -36,19 +36,33 @@ pub struct ValidationTarget {
 }
 
 /// Second difference `‖O(x+δu) + O(x−δu) − 2·O(x)‖∞` at step `delta`.
-fn second_difference(oracle: &dyn Oracle, o0: &Tensor, x: &Tensor, u: &Tensor, delta: f64) -> f64 {
+///
+/// The two probe points go out as **one** 2-row batch: through a broker
+/// that is one request (one budget reservation, one dispatch) instead of
+/// two, and the symmetric rows land in the same cache generation.
+fn second_difference(
+    oracle: &dyn Oracle,
+    o0: &Tensor,
+    x: &Tensor,
+    u: &Tensor,
+    delta: f64,
+) -> Result<f64, OracleError> {
+    let p = x.numel();
     let mut xp = x.clone();
     xp.axpy(delta, u);
     let mut xm = x.clone();
     xm.axpy(-delta, u);
-    let op = oracle.query(&xp);
-    let om = oracle.query(&xm);
+    let mut probes = Vec::with_capacity(2 * p);
+    probes.extend_from_slice(xp.as_slice());
+    probes.extend_from_slice(xm.as_slice());
+    let out = oracle.try_query_batch(&Tensor::from_vec(probes, [2, p]))?;
+    let (op, om) = (out.row(0), out.row(1));
     let mut max_c = 0.0f64;
     for i in 0..o0.numel() {
-        let c = op.as_slice()[i] + om.as_slice()[i] - 2.0 * o0.as_slice()[i];
+        let c = op[i] + om[i] - 2.0 * o0.as_slice()[i];
         max_c = max_c.max(c.abs());
     }
-    max_c
+    Ok(max_c)
 }
 
 /// White-box second difference along `u` — used to decide whether a
@@ -114,7 +128,7 @@ fn probe_witness(
     first_dir: &Tensor,
     cfg: &AttackConfig,
     rng: &mut Prng,
-) -> WitnessVerdict {
+) -> Result<WitnessVerdict, OracleError> {
     let mut informative = false;
     let mut o0: Option<Tensor> = None;
     for d in 0..cfg.validation_directions {
@@ -138,22 +152,25 @@ fn probe_witness(
             continue;
         }
         informative = true;
-        let o0 = o0.get_or_insert_with(|| oracle.query(x));
-        let scale = o0.norm_inf().max(1.0);
-        let c_full = second_difference(oracle, o0, x, &u, cfg.probe_delta);
+        if o0.is_none() {
+            o0 = Some(oracle.try_query(x)?);
+        }
+        let base = o0.as_ref().expect("just queried");
+        let scale = base.norm_inf().max(1.0);
+        let c_full = second_difference(oracle, base, x, &u, cfg.probe_delta)?;
         if c_full / scale < cfg.kink_tol {
             continue;
         }
-        let c_half = second_difference(oracle, o0, x, &u, 0.5 * cfg.probe_delta);
+        let c_half = second_difference(oracle, base, x, &u, 0.5 * cfg.probe_delta)?;
         if c_half >= 0.4 * c_full {
-            return WitnessVerdict::Confirmed;
+            return Ok(WitnessVerdict::Confirmed);
         }
     }
-    if informative {
+    Ok(if informative {
         WitnessVerdict::Refuted
     } else {
         WitnessVerdict::NotObservable
-    }
+    })
 }
 
 /// Probes one next-layer unit, trying positional witnesses first and
@@ -181,7 +198,7 @@ fn probe_unit(
     oracle: &dyn Oracle,
     cfg: &AttackConfig,
     rng: &mut Prng,
-) -> WitnessVerdict {
+) -> Result<WitnessVerdict, OracleError> {
     let elems: Vec<usize> = t.layout.unit_elements(unit).collect();
     // Bit hypotheses for the unit's own key: the witness surface
     // (ReLU input under that bit) and its downstream observability both
@@ -230,8 +247,8 @@ fn probe_unit(
             else {
                 continue;
             };
-            match probe_witness(g, &[ka_h], oracle, &cp.x, &cp.crossing_dir, cfg, rng) {
-                WitnessVerdict::Confirmed => return WitnessVerdict::Confirmed,
+            match probe_witness(g, &[ka_h], oracle, &cp.x, &cp.crossing_dir, cfg, rng)? {
+                WitnessVerdict::Confirmed => return Ok(WitnessVerdict::Confirmed),
                 WitnessVerdict::Refuted => refutes_here += 1,
                 WitnessVerdict::NotObservable => {}
             }
@@ -253,20 +270,21 @@ fn probe_unit(
     // (unknown downstream bits); and a hypothesis with no observable
     // witnesses cannot be judged. Condemn the unit only when every
     // hypothesis was judged and condemned.
-    if hypotheses_refuted == hypotheses.len() {
+    Ok(if hypotheses_refuted == hypotheses.len() {
         WitnessVerdict::Refuted
     } else if hypotheses_informative == hypotheses.len() && hypotheses_refuted > 0 {
         // Mixed-but-informative evidence: inconclusive, not counted.
         WitnessVerdict::NotObservable
     } else {
         WitnessVerdict::NotObservable
-    }
+    })
 }
 
 /// Tests whether the oracle has a kink at `x` (used by the weight-lock
 /// attack's hypothesis testing). Returns `None` when the white box says
 /// the location is not observable from the output, `Some(true)` on a
 /// confirmed oracle kink, `Some(false)` when the oracle is smooth there.
+/// Oracle failures (budget, deadline, dead backend) propagate.
 pub(crate) fn oracle_kink_at(
     g: &Graph,
     ka: &KeyAssignment,
@@ -275,12 +293,14 @@ pub(crate) fn oracle_kink_at(
     first_dir: &Tensor,
     cfg: &AttackConfig,
     rng: &mut Prng,
-) -> Option<bool> {
-    match probe_witness(g, &[ka], oracle, x, first_dir, cfg, rng) {
-        WitnessVerdict::Confirmed => Some(true),
-        WitnessVerdict::Refuted => Some(false),
-        WitnessVerdict::NotObservable => None,
-    }
+) -> Result<Option<bool>, OracleError> {
+    Ok(
+        match probe_witness(g, &[ka], oracle, x, first_dir, cfg, rng)? {
+            WitnessVerdict::Confirmed => Some(true),
+            WitnessVerdict::Refuted => Some(false),
+            WitnessVerdict::NotObservable => None,
+        },
+    )
 }
 
 /// Outcome of a validation pass.
@@ -322,7 +342,10 @@ pub fn key_vector_validation(
     )
 }
 
-/// Three-way variant of [`key_vector_validation`].
+/// Three-way variant of [`key_vector_validation`]. Oracle failures map to
+/// [`ValidationVerdict::NoEvidence`] — an unreachable oracle cannot refute
+/// a candidate; callers that must distinguish "could not probe" from "no
+/// observable witness" use [`key_vector_validation_checked`].
 pub fn key_vector_validation_verdict(
     g: &Graph,
     ka: &KeyAssignment,
@@ -331,6 +354,26 @@ pub fn key_vector_validation_verdict(
     cfg: &AttackConfig,
     rng: &mut Prng,
 ) -> ValidationVerdict {
+    key_vector_validation_checked(g, ka, target, oracle, cfg, rng)
+        .unwrap_or(ValidationVerdict::NoEvidence)
+}
+
+/// Fallible variant of [`key_vector_validation_verdict`]: a typed
+/// [`OracleError`] (budget exhausted, deadline passed, backend down)
+/// surfaces as `Err` so the decryptor can fall back to its learned
+/// candidate instead of mistaking starvation for evidence.
+///
+/// # Errors
+///
+/// Propagates the first [`OracleError`] hit while probing.
+pub fn key_vector_validation_checked(
+    g: &Graph,
+    ka: &KeyAssignment,
+    target: Option<&ValidationTarget>,
+    oracle: &dyn Oracle,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Result<ValidationVerdict, OracleError> {
     match target {
         Some(t) => {
             let mut informative = 0usize;
@@ -347,7 +390,7 @@ pub fn key_vector_validation_verdict(
                 {
                     break;
                 }
-                match probe_unit(g, ka, t, unit, slot, oracle, cfg, rng) {
+                match probe_unit(g, ka, t, unit, slot, oracle, cfg, rng)? {
                     WitnessVerdict::Confirmed => {
                         informative += 1;
                         confirmed += 1;
@@ -357,7 +400,7 @@ pub fn key_vector_validation_verdict(
                 }
             }
             if confirmed >= pass_at {
-                return ValidationVerdict::Pass;
+                return Ok(ValidationVerdict::Pass);
             }
             if informative - confirmed >= fail_at {
                 if std::env::var("RELOCK_DEBUG").is_ok() {
@@ -366,7 +409,7 @@ pub fn key_vector_validation_verdict(
                         t.surface_node
                     );
                 }
-                return ValidationVerdict::Fail;
+                return Ok(ValidationVerdict::Fail);
             }
             if std::env::var("RELOCK_DEBUG").is_ok() {
                 eprintln!(
@@ -376,13 +419,15 @@ pub fn key_vector_validation_verdict(
                 );
             }
             if informative == 0 {
-                return ValidationVerdict::NoEvidence;
+                return Ok(ValidationVerdict::NoEvidence);
             }
-            if confirmed as f64 / informative as f64 >= cfg.validation_majority {
-                ValidationVerdict::Pass
-            } else {
-                ValidationVerdict::Fail
-            }
+            Ok(
+                if confirmed as f64 / informative as f64 >= cfg.validation_majority {
+                    ValidationVerdict::Pass
+                } else {
+                    ValidationVerdict::Fail
+                },
+            )
         }
         None => {
             let p = g.input_size();
@@ -390,17 +435,17 @@ pub fn key_vector_validation_verdict(
                 .normal_tensor([cfg.final_check_samples, p])
                 .scale(cfg.input_scale);
             let mut ours = g.logits_batch(&x, ka);
-            let theirs = oracle.query_batch(&x);
+            let theirs = oracle.try_query_batch(&x)?;
             // A probability oracle is compared in probability space.
             if crate::probs::looks_like_probabilities(&theirs) {
                 ours = crate::probs::softmax_rows(&ours);
             }
             let scale = theirs.norm_inf().max(1.0);
-            if ours.max_abs_diff(&theirs) / scale <= cfg.eq_tol {
+            Ok(if ours.max_abs_diff(&theirs) / scale <= cfg.eq_tol {
                 ValidationVerdict::Pass
             } else {
                 ValidationVerdict::Fail
-            }
+            })
         }
     }
 }

@@ -76,7 +76,7 @@ pub fn weight_lock_attack(
                     break;
                 };
                 match oracle_kink_at(g, &ka, oracle, &cp.x, &cp.crossing_dir, cfg, rng) {
-                    Some(true) => {
+                    Ok(Some(true)) => {
                         confirms += 1;
                         probes += 1;
                         if confirms >= 2 {
@@ -84,8 +84,11 @@ pub fn weight_lock_attack(
                             break 'combos;
                         }
                     }
-                    Some(false) => continue 'combos,
-                    None => {} // not observable here; retry another region
+                    Ok(Some(false)) => continue 'combos,
+                    Ok(None) => {} // not observable here; retry another region
+                    // Starved oracle: stop probing this hypothesis; the
+                    // group resolves with whatever evidence exists so far.
+                    Err(_) => break,
                 }
             }
             // A single confirmation with no refutation still beats nothing

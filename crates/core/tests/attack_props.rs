@@ -1,55 +1,58 @@
-//! Property-style tests of the attack crate's pure components.
+//! Property-style tests of the attack crate's pure components (randomized
+//! with the in-tree `Prng`; no external test dependencies).
 
-use proptest::prelude::*;
 use relock_attack::correction_candidates;
+use relock_tensor::rng::Prng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Candidate flip sets are valid indices, respect the Hamming bound,
-    /// and come in non-decreasing Hamming order.
-    #[test]
-    fn correction_candidates_are_well_formed(
-        conf in proptest::collection::vec(0.0f64..1.0, 1..24),
-        window in 1usize..24,
-        max_hd in 1usize..5,
-        cap in 1usize..64,
-    ) {
+/// Candidate flip sets are valid indices, respect the Hamming bound,
+/// and come in non-decreasing Hamming order.
+#[test]
+fn correction_candidates_are_well_formed() {
+    let mut rng = Prng::seed_from_u64(0xFACADE);
+    for _ in 0..64 {
+        let n = 1 + rng.below(23);
+        let conf: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let window = 1 + rng.below(23);
+        let max_hd = 1 + rng.below(4);
+        let cap = 1 + rng.below(63);
         let cands = correction_candidates(&conf, window, max_hd, cap);
         let mut last_hd = 0usize;
         for c in &cands {
-            prop_assert!(!c.is_empty());
-            prop_assert!(c.len() <= max_hd);
-            prop_assert!(c.len() >= last_hd, "Hamming order violated");
+            assert!(!c.is_empty());
+            assert!(c.len() <= max_hd);
+            assert!(c.len() >= last_hd, "Hamming order violated");
             last_hd = c.len();
             for &i in c {
-                prop_assert!(i < conf.len());
+                assert!(i < conf.len());
             }
             // No duplicate indices inside a candidate.
             let mut s = c.clone();
             s.sort_unstable();
             s.dedup();
-            prop_assert_eq!(s.len(), c.len());
+            assert_eq!(s.len(), c.len());
         }
         // Per-Hamming-distance cap respected.
         for hd in 1..=max_hd {
-            prop_assert!(cands.iter().filter(|c| c.len() == hd).count() <= cap);
+            assert!(cands.iter().filter(|c| c.len() == hd).count() <= cap);
         }
     }
+}
 
-    /// The first candidate is always the single flip of the least-confident
-    /// bit.
-    #[test]
-    fn least_confident_bit_is_tried_first(
-        conf in proptest::collection::vec(0.0f64..1.0, 2..16),
-    ) {
+/// The first candidate is always the single flip of the least-confident
+/// bit.
+#[test]
+fn least_confident_bit_is_tried_first() {
+    let mut rng = Prng::seed_from_u64(0xBEEF);
+    for _ in 0..64 {
+        let n = 2 + rng.below(14);
+        let conf: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
         let cands = correction_candidates(&conf, conf.len(), 2, 100);
-        prop_assert!(!cands.is_empty());
+        assert!(!cands.is_empty());
         let argmin = (0..conf.len())
             .min_by(|&a, &b| conf[a].partial_cmp(&conf[b]).unwrap())
             .unwrap();
         // Ties permit any minimal index; check by value instead.
-        prop_assert!(
+        assert!(
             (conf[cands[0][0]] - conf[argmin]).abs() < 1e-12,
             "first flip has confidence {} but min is {}",
             conf[cands[0][0]],

@@ -9,8 +9,75 @@
 use crate::key::Key;
 use relock_graph::{Graph, KeyAssignment, SerialError};
 use relock_tensor::Tensor;
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Failures of the fallible oracle surface.
+///
+/// Bare hardware oracles never fail (their [`Oracle::try_query_batch`]
+/// default forwards to the infallible path), but brokered or flaky
+/// transports do: a query broker enforces budgets and deadlines, and a
+/// real accelerator link can drop requests. Procedures that can degrade
+/// gracefully (validation, error correction, the learning harvest) call
+/// the `try_` surface and treat these as a signal to fall back rather
+/// than panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The query budget is spent; `spent + requested` would exceed it.
+    BudgetExhausted {
+        /// Underlying query rows already issued.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+        /// Rows the rejected request asked for.
+        requested: u64,
+    },
+    /// The wall-clock deadline for the whole query session has passed.
+    DeadlineExceeded {
+        /// Time elapsed since the session started.
+        elapsed: Duration,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// The transport/backend failed (after any configured retries).
+    Backend {
+        /// Human-readable failure description.
+        message: String,
+        /// Attempts made before giving up (≥ 1).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::BudgetExhausted {
+                spent,
+                budget,
+                requested,
+            } => write!(
+                f,
+                "query budget exhausted: {spent}/{budget} spent, {requested} more requested"
+            ),
+            OracleError::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "query deadline exceeded: {:.3}s elapsed of {:.3}s allowed",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+            OracleError::Backend { message, attempts } => {
+                write!(
+                    f,
+                    "oracle backend failed after {attempts} attempt(s): {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
 
 /// What the oracle reveals per query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,6 +226,64 @@ pub trait Oracle: Sync {
         let b = self.query_batch(&x.reshape([1, x.numel()]));
         Tensor::from_slice(b.row(0))
     }
+
+    /// Fallible batch query. Bare oracles never fail; brokered oracles
+    /// return [`OracleError::BudgetExhausted`] / `DeadlineExceeded`, and
+    /// flaky transports [`OracleError::Backend`]. Budget-aware procedures
+    /// must use this surface and degrade on `Err`.
+    fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        Ok(self.query_batch(x))
+    }
+
+    /// Fallible single query.
+    fn try_query(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        let b = self.try_query_batch(&x.reshape([1, x.numel()]))?;
+        Ok(Tensor::from_slice(b.row(0)))
+    }
+
+    /// Underlying query rows still affordable, if this oracle enforces a
+    /// budget (`None` = unlimited). Callers sizing a harvest (e.g. the
+    /// learning attack's training set) clamp their request to this.
+    fn remaining_budget(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// References to oracles are oracles. This lets wrappers such as the
+/// `relock-serve` broker hold `&dyn Oracle` without caring whether they
+/// own the backend, and lets call sites stack wrappers without moves.
+impl<O: Oracle + ?Sized> Oracle for &O {
+    fn query_batch(&self, x: &Tensor) -> Tensor {
+        (**self).query_batch(x)
+    }
+
+    fn query_count(&self) -> u64 {
+        (**self).query_count()
+    }
+
+    fn input_dim(&self) -> usize {
+        (**self).input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        (**self).output_dim()
+    }
+
+    fn query(&self, x: &Tensor) -> Tensor {
+        (**self).query(x)
+    }
+
+    fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        (**self).try_query_batch(x)
+    }
+
+    fn try_query(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        (**self).try_query(x)
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        (**self).remaining_budget()
+    }
 }
 
 /// The standard oracle: a [`LockedModel`] evaluated under its true key,
@@ -191,15 +316,34 @@ impl CountingOracle {
     }
 
     /// Resets the query counter (between experiment phases).
+    ///
+    /// Callers must not race this with in-flight queries; phases are
+    /// separated by thread joins in every harness, which synchronize.
     pub fn reset_count(&self) {
         self.counter.store(0, Ordering::Relaxed);
+    }
+
+    /// Charges `rows` query rows to the counter in one atomic step — the
+    /// batch-counting primitive used by [`Oracle::query_batch`] and by
+    /// external accountants (e.g. a broker replaying a cached batch into a
+    /// fresh counter). An N-row batch costs exactly N.
+    ///
+    /// `Relaxed` ordering is correct here and in [`Oracle::query_count`]:
+    /// the counter is a statistic, not a synchronization point. Every
+    /// reader that needs an exact total (the per-phase accounting in
+    /// `Decryptor::run`, the broker's stats snapshots) reads after the
+    /// worker threads that issued the queries have been joined, and
+    /// `thread::scope`'s join provides the happens-before edge; `fetch_add`
+    /// itself is a single atomic RMW, so no increments are lost even under
+    /// concurrent batches from a worker pool.
+    pub fn add_queries(&self, rows: u64) {
+        self.counter.fetch_add(rows, Ordering::Relaxed);
     }
 }
 
 impl Oracle for CountingOracle {
     fn query_batch(&self, x: &Tensor) -> Tensor {
-        let rows = x.dims()[0] as u64;
-        self.counter.fetch_add(rows, Ordering::Relaxed);
+        self.add_queries(x.dims()[0] as u64);
         let logits = self.graph.logits_batch(x, &self.keys);
         match self.mode {
             OutputMode::Logits => logits,
@@ -270,6 +414,48 @@ mod tests {
             .unwrap();
         let g = gb.build(out).unwrap();
         LockedModel::new(g, Key::from_bits(vec![true, false]))
+    }
+
+    #[test]
+    fn counter_is_exact_under_concurrent_batches() {
+        // The broker's worker pool hits the counter from several threads
+        // at once; every row must be counted exactly once (N per N-row
+        // batch, not 1), and the post-join read must see the full total.
+        let m = tiny_locked_model();
+        let o = CountingOracle::new(&m);
+        let threads = 8usize;
+        let batches_per_thread = 25usize;
+        let rows_per_batch = 3usize;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let o = &o;
+                scope.spawn(move || {
+                    let mut rng = Prng::seed_from_u64(900 + t as u64);
+                    for _ in 0..batches_per_thread {
+                        o.query_batch(&rng.normal_tensor([rows_per_batch, 3]));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            o.query_count(),
+            (threads * batches_per_thread * rows_per_batch) as u64
+        );
+    }
+
+    #[test]
+    fn reference_to_oracle_is_an_oracle() {
+        let m = tiny_locked_model();
+        let o = CountingOracle::new(&m);
+        let by_ref: &dyn Oracle = &&o;
+        let mut rng = Prng::seed_from_u64(901);
+        let x = rng.normal_tensor([3]);
+        assert_eq!(by_ref.input_dim(), 3);
+        let direct = o.query(&x);
+        let through_ref = by_ref.try_query(&x).unwrap();
+        assert_eq!(direct.as_slice(), through_ref.as_slice());
+        assert_eq!(by_ref.query_count(), 2);
+        assert_eq!(by_ref.remaining_budget(), None);
     }
 
     #[test]

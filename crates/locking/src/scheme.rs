@@ -17,18 +17,13 @@ use relock_tensor::rng::Prng;
 use std::fmt;
 
 /// Which locking operator protects the network.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum LockVariant {
     /// HPNN's original sign-flipping unit (paper Eq. 1).
+    #[default]
     Sign,
     /// §3.9(a): multiply the pre-activation by `factor` when the bit is 1.
     Scale(f64),
-}
-
-impl Default for LockVariant {
-    fn default() -> Self {
-        LockVariant::Sign
-    }
 }
 
 /// How many key bits to embed and with which operator.
@@ -153,8 +148,7 @@ impl LockAllocator {
             "cannot lock a network with no lockable layers"
         );
         let mut per_layer = vec![0usize; n_layers];
-        if n_layers > 0 {
-            let base = spec.total_bits / n_layers;
+        if let Some(base) = spec.total_bits.checked_div(n_layers) {
             let extra = spec.total_bits % n_layers;
             for (i, p) in per_layer.iter_mut().enumerate() {
                 *p = base + usize::from(i < extra);

@@ -1,69 +1,84 @@
-//! Property tests of key metrics and the lock allocator.
+//! Property tests of key metrics and the lock allocator (randomized with
+//! the in-tree `Prng`; no external test dependencies).
 
-use proptest::prelude::*;
 use relock_graph::UnitLayout;
 use relock_locking::{Key, LockAllocator, LockSpec};
 use relock_tensor::rng::Prng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Hamming distance is a metric: symmetric, zero iff equal, triangle.
-    #[test]
-    fn hamming_is_a_metric(
-        a in proptest::collection::vec(any::<bool>(), 1..48),
-        flips1 in proptest::collection::vec(any::<bool>(), 1..48),
-        flips2 in proptest::collection::vec(any::<bool>(), 1..48),
-    ) {
-        let n = a.len().min(flips1.len()).min(flips2.len());
-        let ka = Key::from_bits(a[..n].to_vec());
+/// Hamming distance is a metric: symmetric, zero iff equal, triangle.
+#[test]
+fn hamming_is_a_metric() {
+    let mut rng = Prng::seed_from_u64(0xA11CE);
+    for _ in 0..64 {
+        let n = 1 + rng.below(48);
+        let a: Vec<bool> = (0..n).map(|_| rng.flip()).collect();
+        let flips1: Vec<bool> = (0..n).map(|_| rng.flip()).collect();
+        let flips2: Vec<bool> = (0..n).map(|_| rng.flip()).collect();
+        let ka = Key::from_bits(a);
         let kb = Key::from_bits(
-            ka.bits().iter().zip(&flips1[..n]).map(|(&x, &f)| x ^ f).collect());
+            ka.bits()
+                .iter()
+                .zip(&flips1)
+                .map(|(&x, &f)| x ^ f)
+                .collect(),
+        );
         let kc = Key::from_bits(
-            kb.bits().iter().zip(&flips2[..n]).map(|(&x, &f)| x ^ f).collect());
-        prop_assert_eq!(ka.hamming(&kb), kb.hamming(&ka));
-        prop_assert_eq!(ka.hamming(&ka), 0);
-        prop_assert!(ka.hamming(&kc) <= ka.hamming(&kb) + kb.hamming(&kc));
+            kb.bits()
+                .iter()
+                .zip(&flips2)
+                .map(|(&x, &f)| x ^ f)
+                .collect(),
+        );
+        assert_eq!(ka.hamming(&kb), kb.hamming(&ka));
+        assert_eq!(ka.hamming(&ka), 0);
+        assert!(ka.hamming(&kc) <= ka.hamming(&kb) + kb.hamming(&kc));
     }
+}
 
-    /// Water-filling allocates exactly the requested bits, never exceeding
-    /// any layer's capacity, and every slot index is used exactly once.
-    #[test]
-    fn water_filling_is_exact_and_capacity_safe(
-        caps in proptest::collection::vec(1usize..20, 1..8),
-        seed in 0u64..1000,
-    ) {
+/// Water-filling allocates exactly the requested bits, never exceeding
+/// any layer's capacity, and every slot index is used exactly once.
+#[test]
+fn water_filling_is_exact_and_capacity_safe() {
+    let mut rng = Prng::seed_from_u64(0xB0B);
+    for case in 0..64u64 {
+        let n_layers = 1 + rng.below(7);
+        let caps: Vec<usize> = (0..n_layers).map(|_| 1 + rng.below(19)).collect();
         let total: usize = caps.iter().sum();
         let bits = total / 2;
         let mut alloc = LockAllocator::with_capacities(
             LockSpec::evenly(bits),
             &caps,
-            Prng::seed_from_u64(seed),
-        ).expect("fits");
+            Prng::seed_from_u64(case),
+        )
+        .expect("fits");
         let mut seen = std::collections::HashSet::new();
         for &c in &caps {
             let op = alloc.lock_layer(UnitLayout::scalar(c)).expect("layer fits");
             let slots = op.key_slots();
-            prop_assert!(slots.len() <= c);
+            assert!(slots.len() <= c);
             for s in slots {
-                prop_assert!(seen.insert(s), "slot reused");
+                assert!(seen.insert(s), "slot reused");
             }
         }
-        prop_assert_eq!(alloc.finish().expect("all layers locked"), bits);
-        prop_assert_eq!(seen.len(), bits);
+        assert_eq!(alloc.finish().expect("all layers locked"), bits);
+        assert_eq!(seen.len(), bits);
         // Slot indices are dense 0..bits.
         for i in 0..bits {
-            prop_assert!(seen.contains(&relock_graph::KeySlot(i)));
+            assert!(seen.contains(&relock_graph::KeySlot(i)));
         }
     }
+}
 
-    /// `random_within_hamming` composed with fidelity is consistent.
-    #[test]
-    fn fidelity_of_bounded_perturbations(len in 1usize..64, d_frac in 0.0f64..1.0, seed in 0u64..1000) {
-        let mut rng = Prng::seed_from_u64(seed);
+/// `random_within_hamming` composed with fidelity is consistent.
+#[test]
+fn fidelity_of_bounded_perturbations() {
+    let mut rng = Prng::seed_from_u64(0xC0DE);
+    for _ in 0..64 {
+        let len = 1 + rng.below(63);
+        let d_frac = rng.uniform();
         let k = Key::random(len, &mut rng);
         let d = ((len as f64) * d_frac) as usize;
         let k2 = k.random_within_hamming(d, &mut rng);
-        prop_assert!((k.fidelity(&k2) - (1.0 - d as f64 / len as f64)).abs() < 1e-12);
+        assert!((k.fidelity(&k2) - (1.0 - d as f64 / len as f64)).abs() < 1e-12);
     }
 }

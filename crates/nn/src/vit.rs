@@ -109,13 +109,13 @@ pub fn build_vit(
     lock: LockSpec,
     rng: &mut Prng,
 ) -> Result<LockedModel, BuildError> {
-    if spec.embed % spec.heads != 0 {
+    if !spec.embed.is_multiple_of(spec.heads) {
         return Err(BuildError::BadSpec(format!(
             "heads {} must divide embed {}",
             spec.heads, spec.embed
         )));
     }
-    if spec.h % spec.patch != 0 || spec.w % spec.patch != 0 {
+    if !spec.h.is_multiple_of(spec.patch) || !spec.w.is_multiple_of(spec.patch) {
         return Err(BuildError::BadSpec(format!(
             "patch {} must tile the {}×{} input",
             spec.patch, spec.h, spec.w

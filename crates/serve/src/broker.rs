@@ -1,0 +1,352 @@
+//! The query broker: one front door between an attack and any [`Oracle`].
+//!
+//! Every request flows through four stages:
+//!
+//! 1. **Memoization** — each input row is looked up by its bit-exact bytes;
+//!    hits are served from cache and never touch the backend (or the
+//!    budget). Duplicate rows *within* one batch are deduplicated too.
+//! 2. **Budgeting** — the surviving miss rows reserve query budget
+//!    all-or-nothing and check the wall-clock deadline; exhaustion surfaces
+//!    as a typed [`OracleError`] instead of a panic.
+//! 3. **Dispatch** — misses go to the backend as one batch, sharded across
+//!    a scoped worker pool when large, retried with backoff on transient
+//!    `Backend` failures.
+//! 4. **Metrics** — [`QueryStats`] records requested/hit/underlying row
+//!    counts (per procedure scope), batch shapes, retries, and backend
+//!    latency.
+//!
+//! **Query accounting semantics:** cache hits are free; underlying queries
+//! count per-input-row (an N-row batch costs N). `Oracle::query_count` on a
+//! broker reports *underlying* rows — the paper's `#Q` metric — so a broker
+//! can replace a bare [`CountingOracle`](relock_locking::CountingOracle) in
+//! any harness without inflating Table 1.
+
+use crate::budget::QueryBudget;
+use crate::cache::{row_key, MemoCache};
+use crate::pool::evaluate_sharded;
+use crate::retry::RetryPolicy;
+use crate::stats::{QueryStats, QueryStatsSnapshot};
+use relock_locking::{Oracle, OracleError};
+use relock_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Broker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerConfig {
+    /// Worker threads for large underlying batches (1 = caller thread).
+    pub workers: usize,
+    /// Minimum rows per worker shard before fanning out.
+    pub min_rows_per_shard: usize,
+    /// Memoize responses by bit-exact input bytes.
+    pub memoize: bool,
+    /// Underlying-query budget (`None` = unlimited).
+    pub max_queries: Option<u64>,
+    /// Wall-clock deadline from broker construction (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Retry policy for transient backend failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            workers: 1,
+            min_rows_per_shard: 8,
+            memoize: true,
+            max_queries: None,
+            deadline: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A batching, memoizing, budgeted, metered front-end over any [`Oracle`].
+#[derive(Debug)]
+pub struct Broker<O> {
+    inner: O,
+    config: BrokerConfig,
+    cache: MemoCache,
+    budget: QueryBudget,
+    stats: QueryStats,
+}
+
+impl<O: Oracle> Broker<O> {
+    /// Wraps `inner` with default configuration (memoization on, no budget).
+    pub fn new(inner: O) -> Self {
+        Broker::with_config(inner, BrokerConfig::default())
+    }
+
+    /// Wraps `inner` with explicit configuration. The deadline clock starts
+    /// now.
+    pub fn with_config(inner: O, config: BrokerConfig) -> Self {
+        Broker {
+            inner,
+            cache: MemoCache::new(),
+            budget: QueryBudget::new(config.max_queries, config.deadline),
+            stats: QueryStats::new(),
+            config,
+        }
+    }
+
+    /// Tags subsequent traffic with a procedure label for per-scope
+    /// accounting (`None` clears it).
+    pub fn set_scope(&self, label: Option<&'static str>) {
+        self.stats.set_scope(label);
+    }
+
+    /// Live metrics handle.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Point-in-time metrics copy.
+    pub fn snapshot(&self) -> QueryStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Memoized rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Unwraps the backend oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// The brokered batch query (stages 1–4 of the module docs).
+    fn serve_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        let started = Instant::now();
+        let rows = x.dims()[0];
+        let cols = x.dims()[1];
+        let q = self.inner.output_dim();
+
+        if !self.config.memoize {
+            self.budget.try_reserve(rows as u64)?;
+            let y = self.dispatch(x)?;
+            self.stats
+                .record_batch(rows as u64, 0, rows as u64, started.elapsed());
+            return Ok(y);
+        }
+
+        // Stage 1: cache lookup + in-batch dedupe. `plan[r]` says where row
+        // r's response comes from: the cache, or miss slot i.
+        enum Source {
+            Cached(Box<[f64]>),
+            Miss(usize),
+        }
+        let mut plan = Vec::with_capacity(rows);
+        let mut miss_rows: Vec<f64> = Vec::new();
+        let mut miss_keys = Vec::new();
+        let mut miss_index = std::collections::HashMap::new();
+        for r in 0..rows {
+            let row = &x.as_slice()[r * cols..(r + 1) * cols];
+            let key = row_key(row);
+            if let Some(hit) = self.cache.get(&key) {
+                plan.push(Source::Cached(hit));
+            } else {
+                let slot = *miss_index.entry(key.clone()).or_insert_with(|| {
+                    miss_rows.extend_from_slice(row);
+                    miss_keys.push(key);
+                    miss_keys.len() - 1
+                });
+                plan.push(Source::Miss(slot));
+            }
+        }
+
+        // Stages 2–3: only unique misses are charged and dispatched.
+        let misses = miss_keys.len();
+        let miss_out = if misses > 0 {
+            self.budget.try_reserve(misses as u64)?;
+            let mx = Tensor::from_vec(miss_rows, [misses, cols]);
+            let my = self.dispatch(&mx)?;
+            for (i, key) in miss_keys.into_iter().enumerate() {
+                self.cache.insert(key, my.row(i).into());
+            }
+            Some(my)
+        } else {
+            None
+        };
+
+        // Reassemble in request order.
+        let mut out = Vec::with_capacity(rows * q);
+        for source in &plan {
+            match source {
+                Source::Cached(row) => out.extend_from_slice(row),
+                Source::Miss(i) => {
+                    out.extend_from_slice(miss_out.as_ref().expect("misses dispatched").row(*i));
+                }
+            }
+        }
+
+        // Stage 4: hits = everything not sent to the backend, so duplicate
+        // rows within the batch count as hits too.
+        self.stats.record_batch(
+            rows as u64,
+            (rows - misses) as u64,
+            misses as u64,
+            started.elapsed(),
+        );
+        Ok(Tensor::from_vec(out, [rows, q]))
+    }
+
+    /// Sends a miss batch to the backend under the retry policy and pool.
+    fn dispatch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        let mut retries = 0u64;
+        let out = self.config.retry.run(
+            || {
+                evaluate_sharded(
+                    &self.inner,
+                    x,
+                    self.config.workers,
+                    self.config.min_rows_per_shard,
+                )
+            },
+            || retries += 1,
+        );
+        if retries > 0 {
+            self.stats.record_retries(retries);
+        }
+        out
+    }
+}
+
+impl<O: Oracle> Oracle for Broker<O> {
+    fn query_batch(&self, x: &Tensor) -> Tensor {
+        self.try_query_batch(x)
+            .expect("brokered query failed; use try_query_batch to degrade gracefully")
+    }
+
+    fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        self.serve_batch(x)
+    }
+
+    /// Underlying query rows issued so far — the paper's `#Q`. Cache hits
+    /// are not counted.
+    fn query_count(&self) -> u64 {
+        self.stats.underlying_queries()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.inner.input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.inner.output_dim()
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        self.budget.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::{CountingOracle, LockSpec};
+    use relock_nn::{build_mlp, MlpSpec};
+    use relock_tensor::rng::Prng;
+
+    fn oracle() -> CountingOracle {
+        let mut rng = Prng::seed_from_u64(50);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 5,
+                hidden: vec![7],
+                classes: 3,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .unwrap();
+        CountingOracle::new(&model)
+    }
+
+    #[test]
+    fn cache_hits_are_free_and_bit_exact() {
+        let o = oracle();
+        let broker = Broker::new(&o);
+        let mut rng = Prng::seed_from_u64(51);
+        let x = rng.normal_tensor([4, 5]);
+        let first = broker.query_batch(&x);
+        let second = broker.query_batch(&x);
+        assert_eq!(first.as_slice(), second.as_slice());
+        assert_eq!(o.query_count(), 4, "repeat batch served from cache");
+        assert_eq!(broker.query_count(), 4);
+        let snap = broker.snapshot();
+        assert_eq!(snap.requested, 8);
+        assert_eq!(snap.cache_hits, 4);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_batch_duplicates_are_deduplicated() {
+        let o = oracle();
+        let broker = Broker::new(&o);
+        let mut rng = Prng::seed_from_u64(52);
+        let row = rng.normal_tensor([5]);
+        let mut data = Vec::new();
+        for _ in 0..6 {
+            data.extend_from_slice(row.as_slice());
+        }
+        let x = Tensor::from_vec(data, [6, 5]);
+        let y = broker.query_batch(&x);
+        assert_eq!(o.query_count(), 1, "six identical rows → one real query");
+        for r in 1..6 {
+            assert_eq!(y.row(r), y.row(0));
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_and_cache_still_serves() {
+        let o = oracle();
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                max_queries: Some(3),
+                ..BrokerConfig::default()
+            },
+        );
+        let mut rng = Prng::seed_from_u64(53);
+        let x = rng.normal_tensor([3, 5]);
+        broker.try_query_batch(&x).unwrap();
+        assert_eq!(broker.remaining_budget(), Some(0));
+        // Fresh rows are refused...
+        let err = broker
+            .try_query_batch(&rng.normal_tensor([1, 5]))
+            .unwrap_err();
+        assert!(matches!(err, OracleError::BudgetExhausted { .. }));
+        // ...but cached rows still answer: hits are free.
+        broker.try_query_batch(&x).unwrap();
+        assert_eq!(o.query_count(), 3);
+    }
+
+    #[test]
+    fn memoize_off_always_hits_backend() {
+        let o = oracle();
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                memoize: false,
+                ..BrokerConfig::default()
+            },
+        );
+        let mut rng = Prng::seed_from_u64(54);
+        let x = rng.normal_tensor([2, 5]);
+        broker.query_batch(&x);
+        broker.query_batch(&x);
+        assert_eq!(o.query_count(), 4);
+        assert_eq!(broker.snapshot().cache_hits, 0);
+    }
+
+    #[test]
+    fn single_query_round_trips_through_the_batch_path() {
+        let o = oracle();
+        let broker = Broker::new(&o);
+        let mut rng = Prng::seed_from_u64(55);
+        let x = rng.normal_tensor([5]);
+        let direct = o.query(&x);
+        let brokered = broker.query(&x);
+        assert_eq!(direct.as_slice(), brokered.as_slice());
+    }
+}

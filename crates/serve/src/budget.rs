@@ -1,0 +1,154 @@
+//! Query-budget and deadline enforcement.
+//!
+//! The paper scores attacks by oracle query complexity (Table 1's `#Q`
+//! column); a realistic adversary also has a wall-clock window on the
+//! hardware. [`QueryBudget`] makes both limits first-class: every
+//! *underlying* query must reserve budget before it is issued, cache hits
+//! reserve nothing (they are free by the broker's accounting semantics),
+//! and an exhausted budget surfaces as a typed
+//! [`OracleError::BudgetExhausted`] the attack degrades on instead of
+//! panicking.
+
+use relock_locking::OracleError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A shared, thread-safe query/deadline budget.
+#[derive(Debug)]
+pub struct QueryBudget {
+    limit: Option<u64>,
+    spent: AtomicU64,
+    started: Instant,
+    deadline: Option<Duration>,
+}
+
+impl QueryBudget {
+    /// A budget of `limit` underlying rows (`None` = unlimited) and an
+    /// optional wall-clock deadline starting now.
+    pub fn new(limit: Option<u64>, deadline: Option<Duration>) -> Self {
+        QueryBudget {
+            limit,
+            spent: AtomicU64::new(0),
+            started: Instant::now(),
+            deadline,
+        }
+    }
+
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        QueryBudget::new(None, None)
+    }
+
+    /// Underlying rows reserved so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Rows still affordable (`None` = unlimited).
+    pub fn remaining(&self) -> Option<u64> {
+        self.limit
+            .map(|l| l.saturating_sub(self.spent.load(Ordering::Relaxed)))
+    }
+
+    /// Errors if the wall-clock deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), OracleError> {
+        if let Some(deadline) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > deadline {
+                return Err(OracleError::DeadlineExceeded { elapsed, deadline });
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically reserves `rows` underlying queries, or errors without
+    /// reserving anything (all-or-nothing, so a partially affordable batch
+    /// is never silently truncated — callers that can shrink their request
+    /// consult [`QueryBudget::remaining`] first).
+    pub fn try_reserve(&self, rows: u64) -> Result<(), OracleError> {
+        self.check_deadline()?;
+        let Some(limit) = self.limit else {
+            self.spent.fetch_add(rows, Ordering::Relaxed);
+            return Ok(());
+        };
+        // CAS loop: concurrent broker shards must not over-commit.
+        let mut cur = self.spent.load(Ordering::Relaxed);
+        loop {
+            if cur.saturating_add(rows) > limit {
+                return Err(OracleError::BudgetExhausted {
+                    spent: cur,
+                    budget: limit,
+                    requested: rows,
+                });
+            }
+            match self.spent.compare_exchange_weak(
+                cur,
+                cur + rows,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_reserves() {
+        let b = QueryBudget::unlimited();
+        b.try_reserve(1_000_000).unwrap();
+        assert_eq!(b.spent(), 1_000_000);
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn reservation_is_all_or_nothing() {
+        let b = QueryBudget::new(Some(10), None);
+        b.try_reserve(7).unwrap();
+        let err = b.try_reserve(4).unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::BudgetExhausted {
+                spent: 7,
+                budget: 10,
+                requested: 4
+            }
+        );
+        // The failed reservation charged nothing.
+        assert_eq!(b.spent(), 7);
+        b.try_reserve(3).unwrap();
+        assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn concurrent_reservations_never_over_commit() {
+        let b = QueryBudget::new(Some(1000), None);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let b = &b;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = b.try_reserve(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.spent(), 1000);
+        assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn expired_deadline_is_typed() {
+        let b = QueryBudget::new(None, Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            b.try_reserve(1),
+            Err(OracleError::DeadlineExceeded { .. })
+        ));
+    }
+}

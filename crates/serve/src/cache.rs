@@ -1,0 +1,97 @@
+//! Content-addressed memoization of oracle responses.
+//!
+//! The attack re-queries the same inputs heavily: validation's two-scale
+//! kink test probes `x ± δu` and `x ± (δ/2)u` around the same witness for
+//! several directions (re-reading `O(x)` each time), and error correction
+//! re-validates many candidates against the same witness set. Keys are the
+//! *bit-exact* `f64` input bytes, so a cache hit is guaranteed to be the
+//! response the hardware would have produced — no tolerance, no false
+//! sharing between nearby probes (`x + δu` and `x + (δ/2)u` differ in bits
+//! and get distinct entries).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of independently locked shards; a power of two so the shard
+/// index is a cheap mask. Sharding keeps the worker pool's insertions from
+/// serializing on one lock.
+const SHARDS: usize = 16;
+
+/// Bit-exact row key: the `f64::to_bits` image of one input row.
+pub(crate) type RowKey = Box<[u64]>;
+
+/// Builds the cache key of one input row.
+pub(crate) fn row_key(row: &[f64]) -> RowKey {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+fn shard_of(key: &RowKey) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+/// A sharded map from input-row bytes to the oracle's output row.
+#[derive(Debug)]
+pub(crate) struct MemoCache {
+    shards: Vec<Mutex<HashMap<RowKey, Box<[f64]>>>>,
+}
+
+impl MemoCache {
+    pub(crate) fn new() -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Looks up one row.
+    pub(crate) fn get(&self, key: &RowKey) -> Option<Box<[f64]>> {
+        self.shards[shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts one row's response.
+    pub(crate) fn insert(&self, key: RowKey, value: Box<[f64]>) {
+        self.shards[shard_of(&key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Total memoized rows across shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_exact_keys_distinguish_close_probes() {
+        let cache = MemoCache::new();
+        let x = [0.1, 0.2];
+        let x_eps = [0.1 + 1e-16, 0.2];
+        assert_ne!(row_key(&x), row_key(&x_eps), "1 ulp apart ⇒ distinct keys");
+        cache.insert(row_key(&x), vec![1.0].into());
+        assert!(cache.get(&row_key(&x)).is_some());
+        assert!(cache.get(&row_key(&x_eps)).is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn negative_zero_is_not_positive_zero() {
+        // to_bits distinguishes ±0.0 — deliberate: the hardware sees
+        // different input words on the wire.
+        assert_ne!(row_key(&[0.0]), row_key(&[-0.0]));
+    }
+}

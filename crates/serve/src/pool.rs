@@ -1,0 +1,125 @@
+//! The broker's batched worker pool.
+//!
+//! Large harvest batches (the §3.6 learning attack pulls hundreds of rows
+//! at once) are split into row shards and evaluated on scoped worker
+//! threads, then reassembled in request order. Scoped threads
+//! (`std::thread::scope`) let the pool borrow the oracle directly — no
+//! `Arc`, no `'static` bound on the backend.
+
+use relock_locking::{Oracle, OracleError};
+use relock_tensor::Tensor;
+use std::sync::mpsc;
+
+/// Evaluates a `(B, P)` batch against `inner`, sharding rows across up to
+/// `workers` scoped threads when the batch is large enough to amortize the
+/// spawn cost (`min_rows_per_shard` rows per shard). Row order of the
+/// result matches the request. On any shard failure the first error (by
+/// shard index) is returned; other shards may still have issued queries —
+/// budget accounting remains exact because every shard reserved before
+/// issuing.
+pub(crate) fn evaluate_sharded<O: Oracle + ?Sized>(
+    inner: &O,
+    x: &Tensor,
+    workers: usize,
+    min_rows_per_shard: usize,
+) -> Result<Tensor, OracleError> {
+    let rows = x.dims()[0];
+    let cols = x.dims()[1];
+    let shards = workers.max(1).min(rows / min_rows_per_shard.max(1)).max(1);
+    if shards == 1 {
+        return inner.try_query_batch(x);
+    }
+
+    // Near-equal row ranges: the first `rows % shards` shards get one extra.
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<Tensor, OracleError>)>();
+    std::thread::scope(|scope| {
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let shard =
+                    Tensor::from_vec(x.as_slice()[lo * cols..hi * cols].to_vec(), [hi - lo, cols]);
+                let _ = tx.send((s, inner.try_query_batch(&shard)));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut results: Vec<Option<Result<Tensor, OracleError>>> = (0..shards).map(|_| None).collect();
+    for (s, r) in rx {
+        results[s] = Some(r);
+    }
+
+    let mut out = Vec::with_capacity(rows * inner.output_dim());
+    for r in results {
+        let shard = r.expect("every shard reports exactly once")?;
+        out.extend_from_slice(shard.as_slice());
+    }
+    let q = out.len() / rows.max(1);
+    Ok(Tensor::from_vec(out, [rows, q]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::{CountingOracle, LockSpec};
+    use relock_nn::{build_mlp, MlpSpec};
+    use relock_tensor::rng::Prng;
+
+    fn oracle() -> CountingOracle {
+        let mut rng = Prng::seed_from_u64(40);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 6,
+                hidden: vec![8],
+                classes: 3,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .unwrap();
+        CountingOracle::new(&model)
+    }
+
+    #[test]
+    fn sharded_matches_direct_bit_exactly() {
+        let o = oracle();
+        let mut rng = Prng::seed_from_u64(41);
+        let x = rng.normal_tensor([37, 6]);
+        let direct = o.query_batch(&x);
+        for workers in [1usize, 2, 4, 7] {
+            let sharded = evaluate_sharded(&o, &x, workers, 2).unwrap();
+            assert_eq!(sharded.dims(), direct.dims());
+            assert_eq!(sharded.as_slice(), direct.as_slice(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_caller_thread() {
+        let o = oracle();
+        let mut rng = Prng::seed_from_u64(42);
+        // 3 rows with min 8 per shard → single direct call.
+        let x = rng.normal_tensor([3, 6]);
+        let y = evaluate_sharded(&o, &x, 8, 8).unwrap();
+        assert_eq!(y.dims(), [3, 3]);
+        assert_eq!(o.query_count(), 3);
+    }
+
+    #[test]
+    fn every_row_is_counted_once() {
+        let o = oracle();
+        let mut rng = Prng::seed_from_u64(43);
+        let x = rng.normal_tensor([50, 6]);
+        evaluate_sharded(&o, &x, 4, 4).unwrap();
+        assert_eq!(o.query_count(), 50);
+    }
+}

@@ -1,0 +1,198 @@
+//! Retry-with-backoff for flaky oracle transports.
+//!
+//! Hardened deployments drop or garble requests ([`relock_locking::UnreliableOracle`]
+//! models the transport side of this); a broker that gave up on the first
+//! `Backend` error would starve the attack. [`RetryPolicy`] retries
+//! transient failures with exponential backoff; budget and deadline errors
+//! are *not* retried (they are deterministic).
+
+use relock_locking::{Oracle, OracleError};
+use relock_tensor::Tensor;
+use std::time::Duration;
+
+/// Exponential-backoff retry policy for `Backend` errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff multiplier per further retry (saturating).
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            multiplier: 1,
+        }
+    }
+
+    /// Runs `f` under this policy. Returns the first success, the first
+    /// non-retryable error, or the last `Backend` error with its `attempts`
+    /// field set to the true total. Also reports the number of retries
+    /// performed through `on_retry` (for metrics).
+    pub fn run<T>(
+        &self,
+        mut f: impl FnMut() -> Result<T, OracleError>,
+        mut on_retry: impl FnMut(),
+    ) -> Result<T, OracleError> {
+        let attempts = self.max_attempts.max(1);
+        let mut backoff = self.base_backoff;
+        let mut last_message = String::new();
+        for attempt in 1..=attempts {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(OracleError::Backend { message, .. }) => {
+                    last_message = message;
+                    if attempt < attempts {
+                        on_retry();
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        backoff = backoff.saturating_mul(self.multiplier.max(1));
+                    }
+                }
+                // Budget/deadline failures are deterministic — retrying
+                // would just burn wall clock.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(OracleError::Backend {
+            message: last_message,
+            attempts,
+        })
+    }
+}
+
+/// A standalone oracle wrapper applying a [`RetryPolicy`] to every
+/// fallible query — for callers that want retries without the rest of the
+/// broker machinery.
+#[derive(Debug)]
+pub struct RetryOracle<O> {
+    inner: O,
+    policy: RetryPolicy,
+}
+
+impl<O: Oracle> RetryOracle<O> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: O, policy: RetryPolicy) -> Self {
+        RetryOracle { inner, policy }
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for RetryOracle<O> {
+    fn query_batch(&self, x: &Tensor) -> Tensor {
+        self.try_query_batch(x)
+            .expect("retries exhausted; use try_query_batch to observe the failure")
+    }
+
+    fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        self.policy.run(|| self.inner.try_query_batch(x), || {})
+    }
+
+    fn query_count(&self) -> u64 {
+        self.inner.query_count()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.inner.input_dim()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.inner.output_dim()
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        self.inner.remaining_budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky(fail_first: u32) -> impl FnMut() -> Result<u32, OracleError> {
+        let mut calls = 0u32;
+        move || {
+            calls += 1;
+            if calls <= fail_first {
+                Err(OracleError::Backend {
+                    message: format!("drop {calls}"),
+                    attempts: 1,
+                })
+            } else {
+                Ok(calls)
+            }
+        }
+    }
+
+    #[test]
+    fn retries_transient_failures() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::ZERO,
+            multiplier: 1,
+        };
+        let mut retries = 0u32;
+        let out = policy.run(flaky(2), || retries += 1).unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn gives_up_with_true_attempt_count() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+            multiplier: 1,
+        };
+        let err = policy.run(flaky(99), || {}).unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::Backend {
+                message: "drop 3".to_string(),
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn budget_errors_are_not_retried() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0u32;
+        let err = policy
+            .run(
+                || {
+                    calls += 1;
+                    Err::<(), _>(OracleError::BudgetExhausted {
+                        spent: 1,
+                        budget: 1,
+                        requested: 1,
+                    })
+                },
+                || {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, OracleError::BudgetExhausted { .. }));
+        assert_eq!(calls, 1);
+    }
+}

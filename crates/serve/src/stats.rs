@@ -1,0 +1,265 @@
+//! Serving metrics: query accounting, cache effectiveness, batch shapes,
+//! and oracle latency — the observability layer printed next to Table 1's
+//! query-complexity column.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Batch-size histogram buckets: `1, 2–3, 4–7, …, ≥128` (powers of two).
+pub const HISTOGRAM_BUCKETS: usize = 8;
+
+/// Returns the histogram bucket of a batch of `rows` rows.
+fn bucket_of(rows: u64) -> usize {
+    let mut b = 0usize;
+    let mut edge = 1u64; // upper edge of bucket b: 1, 3, 7, 15, …
+    while b + 1 < HISTOGRAM_BUCKETS && rows > edge {
+        edge = edge * 2 + 1;
+        b += 1;
+    }
+    b
+}
+
+/// Human-readable label of a histogram bucket (bucket `b` covers
+/// `2^b ..= 2^(b+1)-1` rows; the last bucket is open-ended).
+fn bucket_label(b: usize) -> String {
+    if b == 0 {
+        "1".to_string()
+    } else if b + 1 == HISTOGRAM_BUCKETS {
+        format!(">={}", 1u64 << b)
+    } else {
+        format!("{}-{}", 1u64 << b, (1u64 << (b + 1)) - 1)
+    }
+}
+
+/// Per-scope (attack-procedure) accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopeCounts {
+    /// Rows requested through the broker while the scope was active.
+    pub requested: u64,
+    /// Rows served from the memo cache (free).
+    pub cache_hits: u64,
+    /// Rows actually issued to the underlying oracle.
+    pub underlying: u64,
+}
+
+/// Live, thread-safe metrics of one broker.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    requested: AtomicU64,
+    cache_hits: AtomicU64,
+    underlying: AtomicU64,
+    batches: AtomicU64,
+    retries: AtomicU64,
+    oracle_nanos: AtomicU64,
+    histogram: [AtomicU64; HISTOGRAM_BUCKETS],
+    scope: Mutex<ScopeState>,
+}
+
+#[derive(Debug, Default)]
+struct ScopeState {
+    current: Option<&'static str>,
+    per_scope: BTreeMap<&'static str, ScopeCounts>,
+}
+
+impl QueryStats {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        QueryStats::default()
+    }
+
+    /// Tags subsequent traffic with a procedure label (e.g.
+    /// `"key_bit_inference"`); `None` clears the tag. Untagged traffic is
+    /// accounted under `"(untagged)"`.
+    pub fn set_scope(&self, label: Option<&'static str>) {
+        self.scope.lock().expect("scope poisoned").current = label;
+    }
+
+    /// Records one batch: `requested` rows asked for, of which `hits` came
+    /// from cache and `underlying` were issued to the oracle (deduplicated
+    /// rows account for the difference), taking `oracle_time` of backend
+    /// wall clock.
+    pub fn record_batch(&self, requested: u64, hits: u64, underlying: u64, oracle_time: Duration) {
+        self.requested.fetch_add(requested, Ordering::Relaxed);
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.underlying.fetch_add(underlying, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.oracle_nanos
+            .fetch_add(oracle_time.as_nanos() as u64, Ordering::Relaxed);
+        self.histogram[bucket_of(requested.max(1))].fetch_add(1, Ordering::Relaxed);
+        let mut scope = self.scope.lock().expect("scope poisoned");
+        let label = scope.current.unwrap_or("(untagged)");
+        let entry = scope.per_scope.entry(label).or_default();
+        entry.requested += requested;
+        entry.cache_hits += hits;
+        entry.underlying += underlying;
+    }
+
+    /// Records `n` backend retry attempts (beyond the first try).
+    pub fn record_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Rows actually issued to the underlying oracle so far.
+    pub fn underlying_queries(&self) -> u64 {
+        self.underlying.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time copy for reporting.
+    pub fn snapshot(&self) -> QueryStatsSnapshot {
+        let scope = self.scope.lock().expect("scope poisoned");
+        QueryStatsSnapshot {
+            requested: self.requested.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            underlying: self.underlying.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            oracle_time: Duration::from_nanos(self.oracle_nanos.load(Ordering::Relaxed)),
+            histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
+            per_scope: scope
+                .per_scope
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data snapshot of [`QueryStats`], cheap to clone and embed in
+/// attack reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStatsSnapshot {
+    /// Rows requested through the broker (cache hits included).
+    pub requested: u64,
+    /// Rows served from the memo cache.
+    pub cache_hits: u64,
+    /// Rows issued to the underlying oracle — the paper's query count.
+    pub underlying: u64,
+    /// Broker batches served.
+    pub batches: u64,
+    /// Backend retry attempts performed.
+    pub retries: u64,
+    /// Wall clock spent inside the underlying oracle.
+    pub oracle_time: Duration,
+    /// Batch-size histogram (`1, 2–3, 4–7, …, ≥128` requested rows).
+    pub histogram: [u64; HISTOGRAM_BUCKETS],
+    /// Accounting per procedure scope, sorted by label.
+    pub per_scope: Vec<(String, ScopeCounts)>,
+}
+
+impl QueryStatsSnapshot {
+    /// Fraction of requested rows served from cache (0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requested as f64
+        }
+    }
+
+    /// Mean requested rows per broker batch (0 when idle).
+    pub fn mean_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requested as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for QueryStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "queries: {} underlying / {} requested ({:.1}% cache hits, {} batches, mean {:.1} rows/batch)",
+            self.underlying,
+            self.requested,
+            100.0 * self.cache_hit_rate(),
+            self.batches,
+            self.mean_batch_rows(),
+        )?;
+        writeln!(
+            f,
+            "oracle time: {:.3}s  retries: {}",
+            self.oracle_time.as_secs_f64(),
+            self.retries
+        )?;
+        write!(f, "batch-size histogram:")?;
+        for (b, &n) in self.histogram.iter().enumerate() {
+            if n > 0 {
+                write!(f, "  {}:{}", bucket_label(b), n)?;
+            }
+        }
+        writeln!(f)?;
+        for (label, c) in &self.per_scope {
+            writeln!(
+                f,
+                "  {:<24} {:>8} underlying  {:>8} hits  {:>8} requested",
+                label, c.underlying, c.cache_hits, c.requested
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_sizes() {
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(7), 2);
+        assert_eq!(bucket_of(64), 6);
+        assert_eq!(bucket_of(128), 7);
+        assert_eq!(bucket_of(1_000_000), 7);
+    }
+
+    #[test]
+    fn bucket_labels_match_their_edges() {
+        assert_eq!(bucket_label(0), "1");
+        assert_eq!(bucket_label(1), "2-3");
+        assert_eq!(bucket_label(2), "4-7");
+        assert_eq!(bucket_label(6), "64-127");
+        assert_eq!(bucket_label(HISTOGRAM_BUCKETS - 1), ">=128");
+    }
+
+    #[test]
+    fn scoped_accounting_splits_by_label() {
+        let s = QueryStats::new();
+        s.set_scope(Some("learning_attack"));
+        s.record_batch(100, 0, 100, Duration::from_millis(5));
+        s.set_scope(Some("key_vector_validation"));
+        s.record_batch(4, 3, 1, Duration::from_millis(1));
+        s.record_batch(2, 2, 0, Duration::ZERO);
+        s.set_scope(None);
+        let snap = s.snapshot();
+        assert_eq!(snap.requested, 106);
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.underlying, 101);
+        assert_eq!(snap.batches, 3);
+        let validation = snap
+            .per_scope
+            .iter()
+            .find(|(l, _)| l == "key_vector_validation")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(
+            validation,
+            ScopeCounts {
+                requested: 6,
+                cache_hits: 5,
+                underlying: 1
+            }
+        );
+        assert!((snap.cache_hit_rate() - 5.0 / 106.0).abs() < 1e-12);
+        let rendered = snap.to_string();
+        assert!(rendered.contains("learning_attack"));
+        assert!(rendered.contains("cache hits"));
+    }
+}

@@ -1,21 +1,21 @@
-//! Property-based tests of the tensor crate's numerical kernels.
+//! Property-style tests of the tensor crate's numerical kernels
+//! (randomized with the in-tree `Prng`; no external test dependencies).
 
-use proptest::prelude::*;
 use relock_tensor::im2col::{col2im, im2col, ConvGeometry};
 use relock_tensor::linalg::{preimage, QrFactors};
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
 
+const CASES: u64 = 48;
+
 fn rand_matrix(seed: u64, m: usize, n: usize) -> Tensor {
     Prng::seed_from_u64(seed).normal_tensor([m, n])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Matrix multiplication is associative (within floating tolerance).
-    #[test]
-    fn matmul_associative(seed in 0u64..10_000) {
+/// Matrix multiplication is associative (within floating tolerance).
+#[test]
+fn matmul_associative() {
+    for seed in 0..CASES {
         let mut rng = Prng::seed_from_u64(seed);
         let (m, k, l, n) = (
             1 + (seed as usize) % 5,
@@ -28,12 +28,14 @@ proptest! {
         let c = rng.normal_tensor([l, n]);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
-        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+        assert!(left.max_abs_diff(&right) < 1e-10, "seed {seed}");
     }
+}
 
-    /// matmul_nt/matmul_tn agree with the explicit transpose forms.
-    #[test]
-    fn transposed_products_agree(seed in 0u64..10_000) {
+/// matmul_nt/matmul_tn agree with the explicit transpose forms.
+#[test]
+fn transposed_products_agree() {
+    for seed in 0..CASES {
         let mut rng = Prng::seed_from_u64(seed);
         let (m, k, n) = (
             1 + (seed as usize) % 6,
@@ -42,28 +44,38 @@ proptest! {
         );
         let a = rng.normal_tensor([m, k]);
         let b = rng.normal_tensor([n, k]);
-        prop_assert!(a.matmul_nt(&b).max_abs_diff(&a.matmul(&b.transpose())) < 1e-12);
+        assert!(
+            a.matmul_nt(&b).max_abs_diff(&a.matmul(&b.transpose())) < 1e-12,
+            "seed {seed}"
+        );
         let c = rng.normal_tensor([k, m]);
         let d = rng.normal_tensor([k, n]);
-        prop_assert!(c.matmul_tn(&d).max_abs_diff(&c.transpose().matmul(&d)) < 1e-12);
+        assert!(
+            c.matmul_tn(&d).max_abs_diff(&c.transpose().matmul(&d)) < 1e-12,
+            "seed {seed}"
+        );
     }
+}
 
-    /// QR least squares reproduces planted solutions of tall systems.
-    #[test]
-    fn qr_solves_planted_tall_systems(seed in 0u64..10_000) {
+/// QR least squares reproduces planted solutions of tall systems.
+#[test]
+fn qr_solves_planted_tall_systems() {
+    for seed in 0..CASES {
         let n = 2 + (seed as usize) % 6;
         let m = n + (seed as usize / 7) % 6;
         let a = rand_matrix(seed.wrapping_add(1), m, n);
         let x_true = Prng::seed_from_u64(seed.wrapping_add(2)).normal_tensor([n]);
         let b = a.matvec(&x_true);
         let x = QrFactors::compute(&a).solve_least_squares(&b);
-        prop_assert!(x.max_abs_diff(&x_true) < 1e-7, "m={m} n={n}");
+        assert!(x.max_abs_diff(&x_true) < 1e-7, "seed {seed} m={m} n={n}");
     }
+}
 
-    /// The min-norm pre-image of a wide system is orthogonal to the null
-    /// space (that is what "minimum-norm" means).
-    #[test]
-    fn preimage_is_minimum_norm(seed in 0u64..10_000) {
+/// The min-norm pre-image of a wide system is orthogonal to the null
+/// space (that is what "minimum-norm" means).
+#[test]
+fn preimage_is_minimum_norm() {
+    for seed in 0..CASES {
         let m = 2 + (seed as usize) % 4;
         let n = m + 2 + (seed as usize / 11) % 6;
         let a = rand_matrix(seed.wrapping_add(3), m, n);
@@ -73,13 +85,15 @@ proptest! {
         let w = Prng::seed_from_u64(seed.wrapping_add(5)).normal_tensor([n]);
         let back = preimage(&a, &a.matvec(&w), 1e-8).expect("consistent");
         let null = &w - &back.v;
-        prop_assert!(a.matvec(&null).norm_inf() < 1e-6);
-        prop_assert!(p.v.dot(&null).abs() < 1e-6);
+        assert!(a.matvec(&null).norm_inf() < 1e-6, "seed {seed}");
+        assert!(p.v.dot(&null).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    /// im2col/col2im are adjoint for arbitrary geometries.
-    #[test]
-    fn im2col_adjoint(seed in 0u64..10_000) {
+/// im2col/col2im are adjoint for arbitrary geometries.
+#[test]
+fn im2col_adjoint() {
+    for seed in 0..CASES {
         let mut rng = Prng::seed_from_u64(seed);
         let g = ConvGeometry {
             in_channels: 1 + (seed as usize) % 3,
@@ -94,27 +108,35 @@ proptest! {
         let y = rng.normal_tensor([g.out_positions(), g.patch_len()]);
         let lhs = im2col(&x, &g).dot(&y);
         let rhs = x.dot(&col2im(&y, &g));
-        prop_assert!((lhs - rhs).abs() < 1e-9);
+        assert!((lhs - rhs).abs() < 1e-9, "seed {seed} geometry {g:?}");
     }
+}
 
-    /// The PRNG's uniform integers are bounded and its unit vectors are
-    /// normalized, for any seed.
-    #[test]
-    fn prng_contracts(seed in 0u64..10_000, n in 1usize..50) {
+/// The PRNG's uniform integers are bounded and its unit vectors are
+/// normalized, for any seed.
+#[test]
+fn prng_contracts() {
+    for seed in 0..CASES {
         let mut rng = Prng::seed_from_u64(seed);
-        prop_assert!(rng.below(n) < n);
+        let n = 1 + rng.below(49);
+        assert!(rng.below(n) < n);
         let v = rng.unit_vector(n);
-        prop_assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!((v.norm() - 1.0).abs() < 1e-12, "seed {seed} n={n}");
         let idx = rng.choose_indices(n, n.min(5));
         let set: std::collections::HashSet<_> = idx.iter().collect();
-        prop_assert_eq!(set.len(), idx.len());
+        assert_eq!(set.len(), idx.len(), "seed {seed}");
     }
+}
 
-    /// Softmax output is a probability vector for any finite input.
-    #[test]
-    fn softmax_is_probability(v in proptest::collection::vec(-1e3f64..1e3, 1..20)) {
+/// Softmax output is a probability vector for any finite input.
+#[test]
+fn softmax_is_probability() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let len = 1 + rng.below(19);
+        let v: Vec<f64> = (0..len).map(|_| (rng.uniform() - 0.5) * 2e3).collect();
         let s = Tensor::from_slice(&v).softmax();
-        prop_assert!((s.sum() - 1.0).abs() < 1e-9);
-        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((s.sum() - 1.0).abs() < 1e-9, "seed {seed}");
+        assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 }

@@ -77,8 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut conv = build_lenet(&lspec, LockSpec::evenly(12), &mut rng2)?;
     Trainer::quick().fit(&mut conv, &ctask, &mut rng2);
     let oracle = CountingOracle::new(&conv);
-    let mut cfg = AttackConfig::default();
-    cfg.continue_on_failure = true;
+    let cfg = AttackConfig {
+        continue_on_failure: true,
+        ..AttackConfig::default()
+    };
     let report = Decryptor::new(cfg).run(conv.white_box(), &oracle, &mut Prng::seed_from_u64(3))?;
     println!(
         "(c) conv-channel lock   : fidelity {:.1}% in {} queries",

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The repo's verification gate — identical locally and in CI.
+#
+# The workspace has no registry dependencies, so every step below works
+# fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"

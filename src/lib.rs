@@ -9,6 +9,9 @@
 //! - [`data`] — synthetic MNIST-like / CIFAR-like classification tasks;
 //! - [`locking`] — the HPNN logic-locking scheme, its §3.9 variants, and the
 //!   query-counting oracle;
+//! - [`serve`] — the oracle query broker (batching, memoization, query
+//!   budgets/deadlines, retries, serving metrics) that every attack routes
+//!   its traffic through;
 //! - [`attack`] — the paper's primary contribution: the DNN decryption
 //!   algorithm (Algorithms 1–2), the monolithic learning baseline, and the
 //!   weight-lock variant attack.
@@ -39,6 +42,7 @@ pub use relock_data as data;
 pub use relock_graph as graph;
 pub use relock_locking as locking;
 pub use relock_nn as nn;
+pub use relock_serve as serve;
 pub use relock_tensor as tensor;
 
 /// One-stop imports for examples and tests.
@@ -49,10 +53,11 @@ pub mod prelude {
     };
     pub use relock_data::{cifar_like, mnist_like, two_moons, Dataset};
     pub use relock_graph::{Graph, GraphBuilder, KeyAssignment, KeySlot, NodeId, Op};
-    pub use relock_locking::{CountingOracle, Key, LockSpec, LockedModel, Oracle};
+    pub use relock_locking::{CountingOracle, Key, LockSpec, LockedModel, Oracle, OracleError};
     pub use relock_nn::{
         build_lenet, build_mlp, build_mlp_weight_locked, build_resnet, build_vit, LenetSpec,
         MlpSpec, ResnetSpec, Trainer, VitSpec,
     };
+    pub use relock_serve::{Broker, BrokerConfig, QueryStatsSnapshot, RetryPolicy};
     pub use relock_tensor::{rng::Prng, Tensor};
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
 //! relock inspect victim.rlk
-//! relock attack  victim.rlk [--monolithic] [--seed N] [--fast]
+//! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
 //! ```
 //!
 //! `lock` plays the IP owner: builds one of the four §4.2 victims, embeds
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast]"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>]"
     );
     ExitCode::from(2)
 }
@@ -252,6 +252,13 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
         AttackConfig::default()
     };
     cfg.continue_on_failure = true;
+    cfg.query_budget = match args.value("budget") {
+        Some(s) => Some(s.parse().map_err(|_| "--budget expects a number")?),
+        None => match args.flag("budget") {
+            Some(_) => return Err("--budget expects a number".into()),
+            None => None,
+        },
+    };
     let start = std::time::Instant::now();
     let report = Decryptor::new(cfg)
         .run(model.white_box(), &oracle, &mut rng)
@@ -273,6 +280,7 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
             100.0 * report.timing.fraction(p)
         );
     }
+    print!("{}", report.stats);
     Ok(())
 }
 

@@ -1,0 +1,98 @@
+//! Query-budget degradation: a budget-starved attack must complete via the
+//! learning fallback (no panic, no hard error) instead of dying inside
+//! validation, and the broker must never let the underlying oracle see more
+//! rows than the budget allows.
+
+use relock::prelude::*;
+
+fn victim(seed: u64) -> LockedModel {
+    let mut rng = Prng::seed_from_u64(seed);
+    build_mlp(
+        &MlpSpec {
+            input: 16,
+            hidden: vec![12, 8],
+            classes: 4,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .expect("spec fits")
+}
+
+#[test]
+fn tight_budget_degrades_to_learning_fallback() {
+    let model = victim(7);
+    let oracle = CountingOracle::new(&model);
+    let budget = 24u64;
+    let cfg = AttackConfig {
+        query_budget: Some(budget),
+        ..AttackConfig::fast()
+    };
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(8))
+        .expect("budget exhaustion must degrade, not fail");
+
+    // The budget is a hard ceiling on what the hardware ever sees.
+    assert!(
+        oracle.query_count() <= budget,
+        "oracle saw {} rows with budget {budget}",
+        oracle.query_count()
+    );
+    assert!(report.stats.underlying <= budget);
+    assert_eq!(report.stats.underlying, oracle.query_count());
+
+    // Starved validation commits the learned candidate unvalidated.
+    assert!(
+        report.layers.iter().any(|l| !l.validated),
+        "expected at least one unvalidated (starved) layer: {:?}",
+        report.layers
+    );
+
+    // A full-length key is still produced.
+    assert_eq!(report.key.len(), model.true_key().len());
+    let fid = report.fidelity(model.true_key());
+    assert!((0.0..=1.0).contains(&fid));
+}
+
+#[test]
+fn zero_budget_still_completes() {
+    let model = victim(19);
+    let oracle = CountingOracle::new(&model);
+    let cfg = AttackConfig {
+        query_budget: Some(0),
+        ..AttackConfig::fast()
+    };
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(20))
+        .expect("even a zero budget degrades gracefully");
+    assert_eq!(oracle.query_count(), 0, "zero budget means zero queries");
+    assert_eq!(report.stats.underlying, 0);
+    assert!(report.layers.iter().all(|l| !l.validated));
+    assert_eq!(report.key.len(), model.true_key().len());
+}
+
+#[test]
+fn generous_budget_does_not_perturb_the_attack() {
+    let model = victim(7);
+
+    // Reference run: no budget at all.
+    let free_oracle = CountingOracle::new(&model);
+    let free = Decryptor::new(AttackConfig::fast())
+        .run(model.white_box(), &free_oracle, &mut Prng::seed_from_u64(8))
+        .expect("unbudgeted attack");
+    assert_eq!(free.fidelity(model.true_key()), 1.0);
+
+    // Budgeted run with plenty of headroom: identical outcome.
+    let oracle = CountingOracle::new(&model);
+    let budget = free.stats.underlying * 2 + 100;
+    let cfg = AttackConfig {
+        query_budget: Some(budget),
+        ..AttackConfig::fast()
+    };
+    let report = Decryptor::new(cfg)
+        .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(8))
+        .expect("generous budget");
+    assert_eq!(report.fidelity(model.true_key()), 1.0);
+    assert!(report.layers.iter().all(|l| l.validated));
+    assert_eq!(report.stats.underlying, free.stats.underlying);
+}
