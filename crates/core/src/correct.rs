@@ -51,6 +51,38 @@ pub fn correction_candidates(
     out
 }
 
+/// The full candidate list the decryptor's error correction walks: the
+/// confidence-ordered Hamming search of [`correction_candidates`] with the
+/// layer-complement "mirror" candidates spliced in right after the single
+/// flips. The learning attack's characteristic failure mode is a mirror
+/// optimum — most of the layer inverted, with later layers compensating —
+/// so the complement (and its 1-neighbourhood) is tried early.
+///
+/// A pure function of its inputs: a resumed attack regenerates the
+/// identical list and skips the candidates a pre-crash segment already
+/// tried.
+pub fn correction_plan(
+    confidences: &[f64],
+    window: usize,
+    max_hamming: usize,
+    max_per_hd: usize,
+) -> Vec<Vec<usize>> {
+    let n_bits = confidences.len();
+    let mut candidates = correction_candidates(confidences, window, max_hamming, max_per_hd);
+    let insert_at = n_bits.min(candidates.len());
+    let complement: Vec<usize> = (0..n_bits).collect();
+    let mut mirrors = vec![complement.clone()];
+    for skip in 0..n_bits {
+        mirrors.push(complement.iter().copied().filter(|&i| i != skip).collect());
+    }
+    for (offset, m) in mirrors.into_iter().enumerate() {
+        if !m.is_empty() {
+            candidates.insert((insert_at + offset).min(candidates.len()), m);
+        }
+    }
+    candidates
+}
+
 fn combinations(pool: &[usize], k: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
     if k == 0 {
         out.push(prefix.clone());
@@ -118,5 +150,25 @@ mod tests {
     #[test]
     fn empty_input_yields_no_candidates() {
         assert!(correction_candidates(&[], 4, 2, 10).is_empty());
+    }
+
+    #[test]
+    fn plan_inserts_mirrors_after_single_flips() {
+        let c = [0.8, 0.2, 0.4];
+        let plan = correction_plan(&c, 3, 2, 100);
+        // Single flips first (confidence order), then the complement and
+        // its 1-neighbourhood, then the pairs.
+        assert_eq!(plan[0], vec![1]);
+        assert_eq!(plan[1], vec![2]);
+        assert_eq!(plan[2], vec![0]);
+        assert_eq!(plan[3], vec![0, 1, 2]);
+        assert_eq!(plan[4], vec![1, 2]); // complement minus bit 0
+        assert!(plan.len() > 6);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let c = [0.3, 0.9, 0.1, 0.5, 0.2];
+        assert_eq!(correction_plan(&c, 4, 3, 8), correction_plan(&c, 4, 3, 8));
     }
 }

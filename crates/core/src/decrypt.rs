@@ -14,11 +14,17 @@
 //! Theorem 4's argument carries over: each correction round eliminates one
 //! assignment, and a committed layer has passed the rigorous validation.
 
+use crate::checkpoint::{
+    AttackState, CheckpointError, CheckpointPolicy, CheckpointSink, LayerReportState, PhaseCut,
+    ResumeStatus, SerialTarget,
+};
 use crate::config::AttackConfig;
-use crate::correct::correction_candidates;
+use crate::correct::correction_plan;
 use crate::error::AttackError;
-use crate::infer::key_bit_inference;
-use crate::learning::{learning_attack, LearnedMultipliers};
+use crate::infer::{key_bit_inference, InferredBits};
+use crate::learning::{
+    learning_attack, multipliers_from_pairs, multipliers_to_pairs, LearnedMultipliers,
+};
 use crate::telemetry::{Procedure, QueryStatsSnapshot, TimingBreakdown};
 use crate::validate::{key_vector_validation_checked, ValidationTarget, ValidationVerdict};
 use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId};
@@ -151,6 +157,134 @@ impl Decryptor {
         broker: &Broker<O>,
         rng: &mut Prng,
     ) -> Result<DecryptionReport, AttackError> {
+        self.drive(white_box, broker, rng, None, None)
+    }
+
+    /// Runs the attack like [`Decryptor::run_brokered`], persisting a
+    /// crash-consistent [`AttackState`] snapshot through `sink` at every
+    /// phase cut the `policy` admits (layer commits always persist). A run
+    /// killed at any point — even mid-layer — can be continued with
+    /// [`Decryptor::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::run`], plus [`AttackError::Checkpoint`] when
+    /// the sink refuses a write.
+    pub fn run_with_checkpoints<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        sink: &dyn CheckpointSink,
+        policy: CheckpointPolicy,
+    ) -> Result<DecryptionReport, AttackError> {
+        self.drive(white_box, broker, rng, None, Some((sink, policy)))
+    }
+
+    /// Continues a checkpointed run, or starts fresh when the sink holds
+    /// no usable checkpoint.
+    ///
+    /// An unusable checkpoint — corrupt bytes, a truncated file, a
+    /// format-version mismatch, or a snapshot that does not fit
+    /// `white_box` — **never** fails the call: the run falls back to a
+    /// fresh start and reports why in [`ResumeStatus::FellBack`].
+    ///
+    /// Bit-identical continuation (same key and per-layer decisions as the
+    /// uninterrupted run) requires replaying the same inputs the original
+    /// segment saw: the same `white_box` and [`AttackConfig`], a
+    /// deterministic oracle, and a fresh broker per segment (the snapshot
+    /// already carries the pre-crash accounting, which is merged back into
+    /// the final report). `rng` is overwritten from the checkpoint on
+    /// restore, so the random stream continues exactly where the cut was
+    /// taken.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::run_with_checkpoints`].
+    pub fn resume<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        sink: &dyn CheckpointSink,
+        policy: CheckpointPolicy,
+    ) -> Result<(DecryptionReport, ResumeStatus), AttackError> {
+        let loaded: Result<Option<AttackState>, String> = match sink.load() {
+            Err(e) => Err(format!("checkpoint sink load failed: {e}")),
+            Ok(None) => Ok(None),
+            Ok(Some(bytes)) => AttackState::decode(&bytes)
+                .and_then(|state| {
+                    Self::check_compat(&state, white_box)?;
+                    Ok(state)
+                })
+                .map(Some)
+                .map_err(|e| e.to_string()),
+        };
+        let (state, status) = match loaded {
+            Ok(None) => (None, ResumeStatus::Fresh),
+            Ok(Some(state)) => {
+                let status = ResumeStatus::Resumed {
+                    layer: state.layer_index,
+                    phase: state.phase_name(),
+                };
+                (Some(state), status)
+            }
+            Err(reason) => (None, ResumeStatus::FellBack { reason }),
+        };
+        let report = self.drive(white_box, broker, rng, state, Some((sink, policy)))?;
+        Ok((report, status))
+    }
+
+    /// Structural fit of a snapshot against the graph it would resume.
+    fn check_compat(state: &AttackState, g: &Graph) -> Result<(), CheckpointError> {
+        let n_slots = g.key_slot_count();
+        if state.n_slots != n_slots {
+            return Err(CheckpointError::Incompatible(format!(
+                "snapshot is for a {}-slot key, graph has {n_slots}",
+                state.n_slots
+            )));
+        }
+        if state.key_bits.len() != n_slots {
+            return Err(CheckpointError::Corrupt(format!(
+                "key bit vector holds {} bits, expected {n_slots}",
+                state.key_bits.len()
+            )));
+        }
+        let n_layers = group_layers(g).len();
+        if state.layer_index > n_layers {
+            return Err(CheckpointError::Incompatible(format!(
+                "layer index {} exceeds the graph's {n_layers} locked layers",
+                state.layer_index
+            )));
+        }
+        if state.reports.len() != state.layer_index {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} layer reports do not match layer index {}",
+                state.reports.len(),
+                state.layer_index
+            )));
+        }
+        if let Some(max) = state.max_slot_index() {
+            if max >= n_slots {
+                return Err(CheckpointError::Incompatible(format!(
+                    "snapshot references slot {max}, graph has {n_slots} slots"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The resumable Algorithm-2 driver behind every public entry point.
+    /// `resume_state` restores a previous segment's cut; `ckpt` persists
+    /// new cuts as the run progresses.
+    fn drive<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        resume_state: Option<AttackState>,
+        ckpt: Option<(&dyn CheckpointSink, CheckpointPolicy)>,
+    ) -> Result<DecryptionReport, AttackError> {
         let cfg = &self.cfg;
         let oracle: &dyn Oracle = broker;
         if oracle.input_dim() != white_box.input_size() {
@@ -160,25 +294,90 @@ impl Decryptor {
             });
         }
         let start_queries = oracle.query_count();
-        let mut timing = TimingBreakdown::new();
-        let mut layers_out = Vec::new();
+        let layers = group_layers(white_box);
+        let n_slots = white_box.key_slot_count();
 
-        // Group sites by keyed node; NodeId order is topological.
-        let sites = white_box.lock_sites();
-        let mut layers: Vec<(NodeId, Vec<LockSite>)> = Vec::new();
-        for site in sites {
-            match layers.last_mut() {
-                Some((node, v)) if *node == site.keyed_node => v.push(site),
-                _ => layers.push((site.keyed_node, vec![site])),
+        // Session state: fresh defaults, or the snapshot's restoration.
+        let mut timing;
+        let mut layers_out: Vec<LayerReport>;
+        let mut ka;
+        let mut committed: HashMap<KeySlot, bool>;
+        let mut warm;
+        let baseline_stats: QueryStatsSnapshot;
+        let baseline_queries: u64;
+        let start_layer: usize;
+        let mut entry_cut: Option<PhaseCut>;
+        match resume_state {
+            Some(st) => {
+                timing = TimingBreakdown::from_nanos(st.timing_nanos);
+                layers_out = st.reports.iter().map(LayerReportState::to_report).collect();
+                ka = KeyAssignment::all_zero_bits(n_slots);
+                for (i, &bit) in st.key_bits.iter().enumerate() {
+                    ka.set_bit(KeySlot(i), bit);
+                }
+                committed = st.committed.iter().map(|&(i, b)| (KeySlot(i), b)).collect();
+                warm = multipliers_from_pairs(&st.warm);
+                baseline_stats = st.stats;
+                baseline_queries = st.queries;
+                start_layer = st.layer_index;
+                entry_cut = Some(st.cut);
+                // The snapshot's random stream replaces the caller's: the
+                // resumed segment must consume exactly where the cut left.
+                *rng = Prng::from_state(st.rng);
+            }
+            None => {
+                timing = TimingBreakdown::new();
+                layers_out = Vec::new();
+                ka = KeyAssignment::all_zero_bits(n_slots);
+                committed = HashMap::new();
+                warm = LearnedMultipliers::new();
+                baseline_stats = QueryStatsSnapshot::default();
+                baseline_queries = 0;
+                start_layer = 0;
+                entry_cut = None;
             }
         }
 
-        let n_slots = white_box.key_slot_count();
-        let mut ka = KeyAssignment::all_zero_bits(n_slots);
-        let mut committed: HashMap<KeySlot, bool> = HashMap::new();
-        let mut warm = LearnedMultipliers::new();
+        let mut writer = ckpt.map(|(sink, policy)| CkptWriter {
+            sink,
+            policy,
+            last_rows: 0,
+        });
+        // Builds the snapshot for a cut. Never consumes the PRNG, so
+        // checkpointed and plain runs stay bit-identical.
+        let make_state = |layer_index: usize,
+                          cut: PhaseCut,
+                          ka: &KeyAssignment,
+                          committed: &HashMap<KeySlot, bool>,
+                          warm: &LearnedMultipliers,
+                          layers_out: &[LayerReport],
+                          rng: &Prng,
+                          timing: &TimingBreakdown|
+         -> AttackState {
+            let mut committed_pairs: Vec<(usize, bool)> =
+                committed.iter().map(|(s, &b)| (s.index(), b)).collect();
+            committed_pairs.sort_unstable_by_key(|&(i, _)| i);
+            let mut stats = baseline_stats.clone();
+            stats.merge(&broker.snapshot());
+            AttackState {
+                n_slots,
+                layer_index,
+                cut,
+                key_bits: ka.to_bits(),
+                committed: committed_pairs,
+                warm: multipliers_to_pairs(warm),
+                reports: layers_out
+                    .iter()
+                    .map(LayerReportState::from_report)
+                    .collect(),
+                rng: rng.state(),
+                timing_nanos: timing.as_nanos(),
+                stats,
+                queries: baseline_queries + (oracle.query_count() - start_queries),
+            }
+        };
 
-        for li in 0..layers.len() {
+        for li in start_layer..layers.len() {
             let (keyed_node, layer_sites) = &layers[li];
             let mut report = LayerReport {
                 keyed_node: *keyed_node,
@@ -189,143 +388,267 @@ impl Decryptor {
                 corrected: 0,
                 validated: true,
             };
-
-            // ---- Step 1: algebraic inference per site (Algorithm 1). ----
-            let inferred: Vec<(KeySlot, Option<bool>)> = if cfg.disable_algebraic {
-                layer_sites.iter().map(|s| (s.slot, None)).collect()
+            let cut = if li == start_layer {
+                entry_cut.take().unwrap_or(PhaseCut::LayerStart)
             } else {
-                broker.set_scope(Some(Procedure::KeyBitInference.label()));
-                timing.time(Procedure::KeyBitInference, || {
-                    self.infer_layer(white_box, &ka, layer_sites, oracle, rng)
-                })
+                PhaseCut::LayerStart
             };
-            for (slot, bit) in &inferred {
-                if let Some(bit) = bit {
-                    ka.set_bit(*slot, *bit);
-                    committed.insert(*slot, *bit);
-                    report.algebraic += 1;
+
+            // Map the entry cut to what the snapshot already finished for
+            // this layer. All later layers enter at `LayerStart`.
+            let mut restored_inferred: Option<InferredBits> = None;
+            let mut restored_learn: Option<(Vec<KeySlot>, HashMap<KeySlot, f64>)> = None;
+            let mut restored_correction: Option<RestoredCorrection> = None;
+            match cut {
+                PhaseCut::LayerStart => {}
+                PhaseCut::PostInfer { inferred } => {
+                    restored_inferred =
+                        Some(inferred.iter().map(|&(i, b)| (KeySlot(i), b)).collect());
+                }
+                PhaseCut::PostLearn {
+                    unresolved,
+                    confidences,
+                } => {
+                    restored_learn = Some((
+                        unresolved.iter().map(|&i| KeySlot(i)).collect(),
+                        confidences.iter().map(|&(i, c)| (KeySlot(i), c)).collect(),
+                    ));
+                }
+                PhaseCut::Correcting {
+                    confidences,
+                    algebraic,
+                    learned,
+                    rounds,
+                    tried,
+                    target,
+                } => {
+                    restored_correction = Some(RestoredCorrection {
+                        confidences: confidences.iter().map(|&(i, c)| (KeySlot(i), c)).collect(),
+                        algebraic: algebraic as usize,
+                        learned: learned as usize,
+                        rounds: rounds as usize,
+                        tried: tried as usize,
+                        target: target.as_ref().map(SerialTarget::to_target),
+                    });
                 }
             }
+
+            // ---- Step 1: algebraic inference per site (Algorithm 1). ----
+            let inferred: InferredBits = if let Some(inf) = restored_inferred.take() {
+                // The snapshot's key bits already hold these commits; only
+                // the report tally is rebuilt.
+                report.algebraic = inf.iter().filter(|(_, b)| b.is_some()).count();
+                inf
+            } else if restored_learn.is_some() || restored_correction.is_some() {
+                Vec::new() // the snapshot is past this phase entirely
+            } else {
+                let inf: InferredBits = if cfg.disable_algebraic {
+                    layer_sites.iter().map(|s| (s.slot, None)).collect()
+                } else {
+                    broker.set_scope(Some(Procedure::KeyBitInference.label()));
+                    timing.time(Procedure::KeyBitInference, || {
+                        self.infer_layer(white_box, &ka, layer_sites, oracle, rng)
+                    })
+                };
+                for (slot, bit) in &inf {
+                    if let Some(bit) = bit {
+                        ka.set_bit(*slot, *bit);
+                        committed.insert(*slot, *bit);
+                        report.algebraic += 1;
+                    }
+                }
+                if let Some(w) = writer.as_mut() {
+                    w.write(false, oracle.query_count() - start_queries, || {
+                        make_state(
+                            li,
+                            PhaseCut::PostInfer {
+                                inferred: inf.iter().map(|&(s, b)| (s.index(), b)).collect(),
+                            },
+                            &ka,
+                            &committed,
+                            &warm,
+                            &layers_out,
+                            rng,
+                            &timing,
+                        )
+                    })?;
+                }
+                inf
+            };
 
             // ---- Step 2: learning attack on the remainder (§3.6). ----
             // Free bits: this layer's ⊥ plus everything in later layers —
             // the loss is only meaningful when later bits may co-adapt.
-            let unresolved: Vec<KeySlot> = inferred
-                .iter()
-                .filter(|(_, b)| b.is_none())
-                .map(|(s, _)| *s)
-                .collect();
-            let mut confidences: HashMap<KeySlot, f64> = inferred
-                .iter()
-                .filter(|(_, b)| b.is_some())
-                .map(|(s, _)| (*s, 1.0))
-                .collect();
-            if !unresolved.is_empty() {
-                let mut free: Vec<KeySlot> = unresolved.clone();
-                for (_, later_sites) in &layers[li + 1..] {
-                    free.extend(later_sites.iter().map(|s| s.slot));
-                }
-                broker.set_scope(Some(Procedure::LearningAttack.label()));
-                let learned = timing.time(Procedure::LearningAttack, || {
-                    learning_attack(
-                        white_box,
-                        oracle,
-                        &committed,
-                        &free,
-                        &warm,
-                        &cfg.learning,
-                        cfg.input_scale,
-                        rng,
-                    )
-                });
-                for (&slot, &m) in &learned {
-                    warm.insert(slot, m);
-                    // Provisionally assign *later-layer* bits too: the
-                    // validation step's white-box observability predictions
-                    // are far more accurate with the learning attack's
-                    // estimates than with blanket zeros. These bits are
-                    // overwritten when their own layers commit.
-                    ka.set_bit(slot, m < 0.0);
-                }
-                for slot in &unresolved {
-                    let m = learned.get(slot).copied().unwrap_or(0.0);
-                    ka.set_bit(*slot, m < 0.0);
-                    confidences.insert(*slot, m.abs());
-                    report.learned += 1;
-                }
-            }
-
-            // ---- Step 3: validation and error correction (§3.7/§3.8). ----
-            let target = layers
-                .get(li + 1)
-                .map(|(_, next_sites)| self.validation_target(white_box, next_sites, rng));
-            report.validation_rounds = 1;
-            broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
-            // A starved oracle (budget/deadline/backend gone) cannot judge
-            // the candidate; the run degrades by committing the learned
-            // bits unvalidated and pressing on — §3.6's learning path is
-            // the fallback the paper's adversary is left with.
-            let mut starved = false;
-            let mut ok = match timing.time(Procedure::KeyVectorValidation, || {
-                key_vector_validation_checked(white_box, &ka, target.as_ref(), oracle, cfg, rng)
-            }) {
-                Ok(v) => !matches!(v, ValidationVerdict::Fail),
-                Err(_) => {
-                    starved = true;
-                    report.validated = false;
-                    true
-                }
-            };
-            if !ok && !unresolved.is_empty() {
-                // Cheap first remedy: one fresh learning round (new oracle
-                // samples, cold-started θ) often repairs several bits at
-                // once, where the Hamming search below pays one validation
-                // per candidate.
-                broker.set_scope(Some(Procedure::LearningAttack.label()));
-                let relearned = timing.time(Procedure::LearningAttack, || {
+            let (unresolved, mut confidences) = if let Some(rc) = &restored_correction {
+                report.algebraic = rc.algebraic;
+                report.learned = rc.learned;
+                (Vec::new(), rc.confidences.clone())
+            } else if let Some((u, c)) = restored_learn.take() {
+                // The snapshot's key bits and warm starts already hold the
+                // learned assignment.
+                report.algebraic = layer_sites.len() - u.len();
+                report.learned = u.len();
+                (u, c)
+            } else {
+                let unresolved: Vec<KeySlot> = inferred
+                    .iter()
+                    .filter(|(_, b)| b.is_none())
+                    .map(|(s, _)| *s)
+                    .collect();
+                let mut confidences: HashMap<KeySlot, f64> = inferred
+                    .iter()
+                    .filter(|(_, b)| b.is_some())
+                    .map(|(s, _)| (*s, 1.0))
+                    .collect();
+                if !unresolved.is_empty() {
                     let mut free: Vec<KeySlot> = unresolved.clone();
                     for (_, later_sites) in &layers[li + 1..] {
                         free.extend(later_sites.iter().map(|s| s.slot));
                     }
-                    learning_attack(
-                        white_box,
-                        oracle,
-                        &committed,
-                        &free,
-                        &LearnedMultipliers::new(),
-                        &cfg.learning,
-                        cfg.input_scale,
-                        rng,
-                    )
-                });
-                let before: Vec<bool> = ka.to_bits();
-                for slot in &unresolved {
-                    let m = relearned.get(slot).copied().unwrap_or(0.0);
-                    ka.set_bit(*slot, m < 0.0);
-                    confidences.insert(*slot, m.abs());
+                    broker.set_scope(Some(Procedure::LearningAttack.label()));
+                    let learned = timing.time(Procedure::LearningAttack, || {
+                        learning_attack(
+                            white_box,
+                            oracle,
+                            &committed,
+                            &free,
+                            &warm,
+                            &cfg.learning,
+                            cfg.input_scale,
+                            rng,
+                        )
+                    });
+                    for (&slot, &m) in &learned {
+                        warm.insert(slot, m);
+                        // Provisionally assign *later-layer* bits too: the
+                        // validation step's white-box observability predictions
+                        // are far more accurate with the learning attack's
+                        // estimates than with blanket zeros. These bits are
+                        // overwritten when their own layers commit.
+                        ka.set_bit(slot, m < 0.0);
+                    }
+                    for slot in &unresolved {
+                        let m = learned.get(slot).copied().unwrap_or(0.0);
+                        ka.set_bit(*slot, m < 0.0);
+                        confidences.insert(*slot, m.abs());
+                        report.learned += 1;
+                    }
                 }
-                for (&slot, &m) in &relearned {
-                    warm.insert(slot, m);
-                    ka.set_bit(slot, m < 0.0);
+                if let Some(w) = writer.as_mut() {
+                    // Written BEFORE the validation target is drawn: target
+                    // selection consumes the PRNG, so a resume from this
+                    // cut redraws the identical target from the restored
+                    // state.
+                    w.write(false, oracle.query_count() - start_queries, || {
+                        make_state(
+                            li,
+                            PhaseCut::PostLearn {
+                                unresolved: unresolved.iter().map(|s| s.index()).collect(),
+                                confidences: sorted_pairs(&confidences),
+                            },
+                            &ka,
+                            &committed,
+                            &warm,
+                            &layers_out,
+                            rng,
+                            &timing,
+                        )
+                    })?;
                 }
-                report.validation_rounds += 1;
+                (unresolved, confidences)
+            };
+
+            // ---- Step 3: validation and error correction (§3.7/§3.8). ----
+            let mut starved = false;
+            let mut correction_from = 0usize;
+            let (target, mut ok) = if let Some(rc) = restored_correction.take() {
+                // Mid-correction resume: the earlier validations failed by
+                // construction, and the target travels *in* the snapshot —
+                // redrawing it here would diverge the random stream.
+                report.validation_rounds = rc.rounds;
+                correction_from = rc.tried;
+                (rc.target, false)
+            } else {
+                let target = layers
+                    .get(li + 1)
+                    .map(|(_, next_sites)| self.validation_target(white_box, next_sites, rng));
+                report.validation_rounds = 1;
                 broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
-                ok = match timing.time(Procedure::KeyVectorValidation, || {
+                // A starved oracle (budget/deadline/backend gone) cannot
+                // judge the candidate; the run degrades by committing the
+                // learned bits unvalidated and pressing on — §3.6's
+                // learning path is the fallback the paper's adversary is
+                // left with.
+                let mut ok = match timing.time(Procedure::KeyVectorValidation, || {
                     key_vector_validation_checked(white_box, &ka, target.as_ref(), oracle, cfg, rng)
                 }) {
-                    Ok(v) => !matches!(v, ValidationVerdict::Fail),
+                    Ok(v) => v.tolerated(),
                     Err(_) => {
                         starved = true;
                         report.validated = false;
                         true
                     }
                 };
-                if !ok {
-                    // Keep whichever candidate the correction search should
-                    // start from: the re-learned one (fresher confidences).
-                    let _ = before;
+                if !ok && !unresolved.is_empty() {
+                    // Cheap first remedy: one fresh learning round (new
+                    // oracle samples, cold-started θ) often repairs several
+                    // bits at once, where the Hamming search below pays one
+                    // validation per candidate.
+                    broker.set_scope(Some(Procedure::LearningAttack.label()));
+                    let relearned = timing.time(Procedure::LearningAttack, || {
+                        let mut free: Vec<KeySlot> = unresolved.clone();
+                        for (_, later_sites) in &layers[li + 1..] {
+                            free.extend(later_sites.iter().map(|s| s.slot));
+                        }
+                        learning_attack(
+                            white_box,
+                            oracle,
+                            &committed,
+                            &free,
+                            &LearnedMultipliers::new(),
+                            &cfg.learning,
+                            cfg.input_scale,
+                            rng,
+                        )
+                    });
+                    let before: Vec<bool> = ka.to_bits();
+                    for slot in &unresolved {
+                        let m = relearned.get(slot).copied().unwrap_or(0.0);
+                        ka.set_bit(*slot, m < 0.0);
+                        confidences.insert(*slot, m.abs());
+                    }
+                    for (&slot, &m) in &relearned {
+                        warm.insert(slot, m);
+                        ka.set_bit(slot, m < 0.0);
+                    }
+                    report.validation_rounds += 1;
+                    broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
+                    ok = match timing.time(Procedure::KeyVectorValidation, || {
+                        key_vector_validation_checked(
+                            white_box,
+                            &ka,
+                            target.as_ref(),
+                            oracle,
+                            cfg,
+                            rng,
+                        )
+                    }) {
+                        Ok(v) => v.tolerated(),
+                        Err(_) => {
+                            starved = true;
+                            report.validated = false;
+                            true
+                        }
+                    };
+                    if !ok {
+                        // Keep whichever candidate the correction search
+                        // should start from: the re-learned one (fresher
+                        // confidences).
+                        let _ = before;
+                    }
                 }
-            }
+                (target, ok)
+            };
             if !ok {
                 broker.set_scope(Some(Procedure::ErrorCorrection.label()));
                 let corr_start = Instant::now();
@@ -339,29 +662,39 @@ impl Decryptor {
                 // larger ones within the configured Hamming budget.
                 let n_bits = layer_slots.len();
                 let effective_hamming = if n_bits <= 8 { n_bits } else { cfg.max_hamming };
-                let mut candidates = correction_candidates(
+                // The deterministic candidate plan (confidence-ordered
+                // flips plus mirror candidates): a resumed run regenerates
+                // it identically and skips the first `correction_from`
+                // entries.
+                let candidates = correction_plan(
                     &conf_vec,
                     cfg.correction_window,
                     effective_hamming,
                     cfg.max_candidates_per_hd,
                 );
-                // The learning attack's characteristic failure mode is a
-                // *mirror* optimum — most of the layer inverted, with later
-                // layers compensating. Try the complement (and its
-                // 1-neighbourhood) right after the single flips.
-                let insert_at = n_bits.min(candidates.len());
-                let complement: Vec<usize> = (0..n_bits).collect();
-                let mut mirrors = vec![complement.clone()];
-                for skip in 0..n_bits {
-                    mirrors.push(complement.iter().copied().filter(|&i| i != skip).collect());
-                }
-                for (offset, m) in mirrors.into_iter().enumerate() {
-                    if !m.is_empty() {
-                        candidates.insert((insert_at + offset).min(candidates.len()), m);
-                    }
-                }
                 let mut applied: Option<Vec<usize>> = None;
-                for cand in &candidates {
+                for (ci, cand) in candidates.iter().enumerate().skip(correction_from) {
+                    if let Some(w) = writer.as_mut() {
+                        w.write(false, oracle.query_count() - start_queries, || {
+                            make_state(
+                                li,
+                                PhaseCut::Correcting {
+                                    confidences: sorted_pairs(&confidences),
+                                    algebraic: report.algebraic as u64,
+                                    learned: report.learned as u64,
+                                    rounds: report.validation_rounds as u64,
+                                    tried: ci as u64,
+                                    target: target.as_ref().map(SerialTarget::from_target),
+                                },
+                                &ka,
+                                &committed,
+                                &warm,
+                                &layers_out,
+                                rng,
+                                &timing,
+                            )
+                        })?;
+                    }
                     report.validation_rounds += 1;
                     for &i in cand {
                         let s = layer_slots[i];
@@ -419,14 +752,32 @@ impl Decryptor {
                 committed.insert(site.slot, ka.to_bits()[site.slot.index()]);
             }
             layers_out.push(report);
+            if let Some(w) = writer.as_mut() {
+                // Layer commits always persist — losing one would cost a
+                // whole layer's oracle traffic on the next resume.
+                w.write(true, oracle.query_count() - start_queries, || {
+                    make_state(
+                        li + 1,
+                        PhaseCut::LayerStart,
+                        &ka,
+                        &committed,
+                        &warm,
+                        &layers_out,
+                        rng,
+                        &timing,
+                    )
+                })?;
+            }
         }
 
         broker.set_scope(None);
+        let mut stats = baseline_stats;
+        stats.merge(&broker.snapshot());
         Ok(DecryptionReport {
             key: Key::from_bits(ka.to_bits()),
             timing,
-            queries: oracle.query_count() - start_queries,
-            stats: broker.snapshot(),
+            queries: baseline_queries + (oracle.query_count() - start_queries),
+            stats,
             layers: layers_out,
         })
     }
@@ -541,6 +892,64 @@ impl Decryptor {
     }
 }
 
+/// Groups lock sites by keyed node; `NodeId` order is topological, so the
+/// groups come out in the paper's layer-processing order.
+fn group_layers(g: &Graph) -> Vec<(NodeId, Vec<LockSite>)> {
+    let mut layers: Vec<(NodeId, Vec<LockSite>)> = Vec::new();
+    for site in g.lock_sites() {
+        match layers.last_mut() {
+            Some((node, v)) if *node == site.keyed_node => v.push(site),
+            _ => layers.push((site.keyed_node, vec![site])),
+        }
+    }
+    layers
+}
+
+/// Confidence map → `(slot, value)` pairs sorted by slot index, so the
+/// serialized bytes do not depend on `HashMap` iteration order.
+fn sorted_pairs(m: &HashMap<KeySlot, f64>) -> Vec<(usize, f64)> {
+    let mut pairs: Vec<(usize, f64)> = m.iter().map(|(s, &v)| (s.index(), v)).collect();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs
+}
+
+/// A `Correcting` cut mapped back to the driver's live types.
+struct RestoredCorrection {
+    confidences: HashMap<KeySlot, f64>,
+    algebraic: usize,
+    learned: usize,
+    rounds: usize,
+    tried: usize,
+    target: Option<ValidationTarget>,
+}
+
+/// Throttled checkpoint writer: layer commits always persist; mid-layer
+/// cuts persist once the policy's query quantum has elapsed since the last
+/// write. The snapshot builder runs only when a write actually happens.
+struct CkptWriter<'a> {
+    sink: &'a dyn CheckpointSink,
+    policy: CheckpointPolicy,
+    last_rows: u64,
+}
+
+impl CkptWriter<'_> {
+    fn write(
+        &mut self,
+        force: bool,
+        rows_now: u64,
+        build: impl FnOnce() -> AttackState,
+    ) -> Result<(), AttackError> {
+        if !force && rows_now.saturating_sub(self.last_rows) < self.policy.every_queries {
+            return Ok(());
+        }
+        self.sink
+            .save(&build().encode())
+            .map_err(|e| AttackError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+        self.last_rows = rows_now;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +1029,80 @@ mod tests {
             .unwrap();
         assert!(report.key.is_empty());
         assert_eq!(report.queries, 0);
+    }
+
+    #[test]
+    fn checkpointing_is_transparent_and_resume_handles_empty_and_finished_sinks() {
+        use crate::checkpoint::MemoryCheckpointSink;
+        let mut rng = Prng::seed_from_u64(140);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 12,
+                hidden: vec![10, 6],
+                classes: 3,
+            },
+            LockSpec::evenly(8),
+            &mut rng,
+        )
+        .unwrap();
+        let g = model.white_box();
+        let oracle = CountingOracle::new(&model);
+        let dec = Decryptor::new(AttackConfig::fast());
+
+        // Checkpointed run produces the same key as a plain run: snapshot
+        // construction never consumes the PRNG or queries the oracle.
+        let sink = MemoryCheckpointSink::new();
+        let broker = Broker::with_config(&oracle, BrokerConfig::default());
+        let r1 = dec
+            .run_with_checkpoints(
+                g,
+                &broker,
+                &mut Prng::seed_from_u64(141),
+                &sink,
+                CheckpointPolicy::EVERY_CUT,
+            )
+            .unwrap();
+        assert!(sink.saves() >= 2, "one forced write per layer at least");
+        let broker2 = Broker::with_config(&oracle, BrokerConfig::default());
+        let r2 = dec
+            .run_brokered(g, &broker2, &mut Prng::seed_from_u64(141))
+            .unwrap();
+        assert_eq!(r1.key, r2.key);
+        assert_eq!(r1.queries, r2.queries);
+
+        // Resuming a *finished* run skips the layer loop and re-emits the
+        // recovered key and accounting without new oracle traffic.
+        let broker3 = Broker::with_config(&oracle, BrokerConfig::default());
+        let before = oracle.query_count();
+        let (r3, status) = dec
+            .resume(
+                g,
+                &broker3,
+                &mut Prng::seed_from_u64(999),
+                &sink,
+                CheckpointPolicy::EVERY_CUT,
+            )
+            .unwrap();
+        assert!(status.resumed(), "got {status:?}");
+        assert_eq!(r3.key, r1.key);
+        assert_eq!(r3.queries, r1.queries);
+        assert_eq!(oracle.query_count(), before);
+        assert_eq!(r3.layers.len(), r1.layers.len());
+
+        // An empty sink is a fresh start, not an error.
+        let empty = MemoryCheckpointSink::new();
+        let broker4 = Broker::with_config(&oracle, BrokerConfig::default());
+        let (r4, status) = dec
+            .resume(
+                g,
+                &broker4,
+                &mut Prng::seed_from_u64(141),
+                &empty,
+                CheckpointPolicy::EVERY_CUT,
+            )
+            .unwrap();
+        assert_eq!(status, ResumeStatus::Fresh);
+        assert_eq!(r4.key, r1.key);
     }
 
     #[test]

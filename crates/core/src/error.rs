@@ -1,5 +1,6 @@
 //! Attack errors.
 
+use crate::checkpoint::CheckpointError;
 use relock_graph::NodeId;
 use relock_locking::OracleError;
 use std::fmt;
@@ -29,6 +30,17 @@ pub enum AttackError {
     /// degrade around — e.g. budget exhaustion before any key candidate
     /// existed, or a backend that stayed down through every retry.
     Oracle(OracleError),
+    /// A checkpoint sink failed while *persisting* attack state. Load-side
+    /// problems never surface here — an unusable checkpoint makes
+    /// `Decryptor::resume` fall back to a fresh run — but refusing to
+    /// write one silently would break the crash-safety contract.
+    Checkpoint(CheckpointError),
+}
+
+impl From<CheckpointError> for AttackError {
+    fn from(e: CheckpointError) -> Self {
+        AttackError::Checkpoint(e)
+    }
 }
 
 impl From<OracleError> for AttackError {
@@ -53,6 +65,7 @@ impl fmt::Display for AttackError {
                 "oracle input width {got_in} does not match white-box input {expect_in}"
             ),
             AttackError::Oracle(e) => write!(f, "oracle failure: {e}"),
+            AttackError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }

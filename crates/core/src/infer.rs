@@ -9,11 +9,16 @@
 
 use crate::config::AttackConfig;
 use crate::critical::{search_critical_point, z_at};
-use relock_graph::{Graph, KeyAssignment, LockSite, NodeId, Op, Saved};
+use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Op, Saved};
 use relock_locking::Oracle;
 use relock_tensor::linalg::preimage;
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
+
+/// Per-site outcomes of one layer's Algorithm-1 pass: `(slot, inferred
+/// bit)`, with `None` for the paper's ⊥. Checkpoints serialize this so a
+/// resumed attack can skip the pass instead of re-querying it.
+pub type InferredBits = Vec<(KeySlot, Option<bool>)>;
 
 /// The discrete "linear region signature" of a point: ReLU activity masks
 /// and max-pool winners over the ancestors of `upto`. Two points share a

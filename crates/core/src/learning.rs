@@ -21,6 +21,20 @@ use std::collections::HashMap;
 /// confidence level, which drives `error_correction`'s flip order.
 pub type LearnedMultipliers = HashMap<KeySlot, f64>;
 
+/// Stable encoding of a multiplier map for checkpoints: `(slot index,
+/// multiplier)` pairs sorted by slot, so identical maps serialize to
+/// identical bytes. Restore with [`multipliers_from_pairs`].
+pub fn multipliers_to_pairs(m: &LearnedMultipliers) -> Vec<(usize, f64)> {
+    let mut pairs: Vec<(usize, f64)> = m.iter().map(|(s, &v)| (s.index(), v)).collect();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs
+}
+
+/// Inverse of [`multipliers_to_pairs`].
+pub fn multipliers_from_pairs(pairs: &[(usize, f64)]) -> LearnedMultipliers {
+    pairs.iter().map(|&(i, v)| (KeySlot(i), v)).collect()
+}
+
 fn atanh_clamped(m: f64) -> f64 {
     let c = m.clamp(-0.985, 0.985);
     0.5 * ((1.0 + c) / (1.0 - c)).ln()

@@ -24,6 +24,14 @@
 //! adds memoization, query budgets, retries, and the per-procedure query
 //! accounting surfaced in [`DecryptionReport::stats`].
 //!
+//! Long attacks survive crashes: [`Decryptor::run_with_checkpoints`]
+//! persists a crash-consistent [`AttackState`] through a
+//! [`CheckpointSink`] at every phase cut, and [`Decryptor::resume`]
+//! continues bit-identically from the last snapshot (falling back to a
+//! fresh run when the checkpoint is missing, corrupt, or incompatible).
+//! See the [`checkpoint`](crate::checkpoint) module docs for the cut
+//! placement rules and the on-disk format.
+//!
 //! ## Example
 //!
 //! ```
@@ -45,6 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 mod config;
 mod correct;
 mod critical;
@@ -58,15 +67,23 @@ mod telemetry;
 mod validate;
 mod weightlock;
 
+pub use checkpoint::{
+    AttackState, CheckpointError, CheckpointPolicy, CheckpointSink, FileCheckpointSink,
+    LayerReportState, MemoryCheckpointSink, PhaseCut, ResumeStatus, SerialTarget, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use config::{AttackConfig, LearningConfig};
-pub use correct::correction_candidates;
+pub use correct::{correction_candidates, correction_plan};
 pub use critical::{
     search_critical_point, search_target_critical_point, CriticalPoint, TargetScalar,
 };
 pub use decrypt::{DecryptionReport, Decryptor, LayerReport};
 pub use error::AttackError;
-pub use infer::key_bit_inference;
-pub use learning::{learning_attack, round_to_bits, LearnedMultipliers};
+pub use infer::{key_bit_inference, InferredBits};
+pub use learning::{
+    learning_attack, multipliers_from_pairs, multipliers_to_pairs, round_to_bits,
+    LearnedMultipliers,
+};
 pub use monolithic::{MonolithicAttack, MonolithicConfig, MonolithicReport};
 pub use telemetry::{Procedure, QueryStats, QueryStatsSnapshot, ScopeCounts, TimingBreakdown};
 pub use validate::{

@@ -100,6 +100,20 @@ impl TimingBreakdown {
         }
     }
 
+    /// Per-procedure totals as nanoseconds in [`Procedure::ALL`] order —
+    /// the checkpoint serialization of a breakdown. Restore with
+    /// [`TimingBreakdown::from_nanos`].
+    pub fn as_nanos(&self) -> [u64; 4] {
+        std::array::from_fn(|i| self.spans[i].as_nanos() as u64)
+    }
+
+    /// Rebuilds a breakdown from [`TimingBreakdown::as_nanos`] output.
+    pub fn from_nanos(nanos: [u64; 4]) -> Self {
+        TimingBreakdown {
+            spans: nanos.map(Duration::from_nanos),
+        }
+    }
+
     /// Times `f`, attributing the span to `p`.
     pub fn time<T>(&mut self, p: Procedure, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
@@ -144,6 +158,20 @@ mod tests {
         assert_eq!(v, 42);
         assert!(t.of(Procedure::ErrorCorrection) > Duration::ZERO);
         assert_eq!(t.of(Procedure::LearningAttack), Duration::ZERO);
+    }
+
+    #[test]
+    fn nanos_round_trip() {
+        let mut t = TimingBreakdown::new();
+        t.add(
+            Procedure::KeyBitInference,
+            Duration::from_nanos(123_456_789),
+        );
+        t.add(Procedure::ErrorCorrection, Duration::from_micros(42));
+        let back = TimingBreakdown::from_nanos(t.as_nanos());
+        for p in Procedure::ALL {
+            assert_eq!(back.of(p), t.of(p));
+        }
     }
 
     #[test]

@@ -319,6 +319,14 @@ pub enum ValidationVerdict {
     NoEvidence,
 }
 
+impl ValidationVerdict {
+    /// Whether Algorithm 2 accepts the candidate it *arrived* with:
+    /// everything except an affirmative [`ValidationVerdict::Fail`].
+    pub fn tolerated(self) -> bool {
+        !matches!(self, ValidationVerdict::Fail)
+    }
+}
+
 /// Validates the candidate key bits of a layer (paper §3.7).
 ///
 /// With `target = Some(..)`, hunts for oracle kinks at the white-box

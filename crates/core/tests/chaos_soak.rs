@@ -1,0 +1,270 @@
+//! Kill-and-resume soak tests: the attack is killed at scheduled points by
+//! a `ChaosOracle` (a panic standing in for SIGKILL), resumed from its
+//! last checkpoint with a fresh broker, and must still recover the exact
+//! key an uninterrupted run finds — bit-identically, on both an MLP and a
+//! LeNet victim. A transient-fault soak checks the retry path end to end,
+//! and a mid-soak corruption test checks the clean-fallback contract.
+
+use relock_attack::{
+    AttackConfig, AttackState, CheckpointPolicy, DecryptionReport, Decryptor, MemoryCheckpointSink,
+};
+use relock_locking::{CountingOracle, LockSpec, LockedModel};
+use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
+use relock_serve::{Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, RetryPolicy};
+use relock_tensor::rng::Prng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn mlp_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(500);
+    build_mlp(
+        &MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn lenet_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(510);
+    build_lenet(
+        &LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 3,
+            c2: 4,
+            fc1: 10,
+            fc2: 8,
+            classes: 4,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn reference_run(model: &LockedModel, attack_seed: u64) -> DecryptionReport {
+    let oracle = CountingOracle::new(model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    Decryptor::new(AttackConfig::fast())
+        .run_brokered(
+            model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(attack_seed),
+        )
+        .unwrap()
+}
+
+struct SoakOutcome {
+    report: DecryptionReport,
+    /// Cumulative-row points at which scheduled crashes actually fired.
+    crashes: Vec<u64>,
+    /// `(layer_index, phase)` of the checkpoint each post-crash segment
+    /// resumed from.
+    resume_phases: Vec<(usize, String)>,
+}
+
+/// Runs the attack under a crash-only chaos schedule, resuming after every
+/// kill until a segment completes. Each segment gets a fresh broker — the
+/// checkpoint carries the accounting across the crash — while the chaos
+/// oracle (like real hardware) lives through the whole session, so its
+/// cumulative-row crash points span segments.
+fn soak(model: &LockedModel, attack_seed: u64, crash_at: Vec<u64>) -> SoakOutcome {
+    let g = model.white_box();
+    let scheduled = crash_at.len();
+    let chaos = ChaosOracle::new(
+        CountingOracle::new(model),
+        ChaosConfig::crash_only(9, crash_at),
+    );
+    let dec = Decryptor::new(AttackConfig::fast());
+    let sink = MemoryCheckpointSink::new();
+    let mut crashes = Vec::new();
+    let mut resume_phases = Vec::new();
+    loop {
+        assert!(
+            crashes.len() <= scheduled,
+            "more unwinds than scheduled crash points"
+        );
+        if !crashes.is_empty() {
+            let bytes = sink.contents().expect("crashed past the first checkpoint");
+            let st = AttackState::decode(&bytes).expect("crash must leave a valid checkpoint");
+            resume_phases.push((st.layer_index, st.phase_name().to_string()));
+        }
+        let broker = Broker::with_config(&chaos, BrokerConfig::default());
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Prng::seed_from_u64(attack_seed);
+            dec.resume(g, &broker, &mut rng, &sink, CheckpointPolicy::EVERY_CUT)
+        }));
+        match attempt {
+            Ok(Ok((report, _status))) => {
+                assert_eq!(
+                    chaos.counters().crashes,
+                    crashes.len() as u64,
+                    "chaos counters must agree with observed unwinds"
+                );
+                return SoakOutcome {
+                    report,
+                    crashes,
+                    resume_phases,
+                };
+            }
+            Ok(Err(e)) => panic!("attack error during soak: {e}"),
+            Err(payload) => {
+                let crash = payload
+                    .downcast::<ChaosCrash>()
+                    .expect("only scheduled chaos crashes should unwind");
+                crashes.push(crash.at_rows);
+            }
+        }
+    }
+}
+
+fn assert_soak_matches_reference(model: &LockedModel, attack_seed: u64) {
+    let reference = reference_run(model, attack_seed);
+    assert_eq!(
+        reference.fidelity(model.true_key()),
+        1.0,
+        "reference run must recover the key exactly"
+    );
+    // Crash points derived from the uninterrupted run's traffic so the
+    // kills land inside the attack, spread across its lifetime.
+    let q = reference.queries;
+    assert!(q > 16, "victim too small to place crash points ({q} rows)");
+    let crash_at = vec![q / 8, q / 2, (q * 3) / 4];
+    let soaked = soak(model, attack_seed, crash_at);
+
+    assert!(
+        soaked.crashes.len() >= 3,
+        "expected at least 3 kills, got {:?}",
+        soaked.crashes
+    );
+    assert!(
+        soaked
+            .resume_phases
+            .iter()
+            .any(|(_, phase)| phase != "layer-start"),
+        "no kill landed mid-layer: {:?}",
+        soaked.resume_phases
+    );
+    assert_eq!(
+        soaked.report.key, reference.key,
+        "resumed key must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(soaked.report.fidelity(model.true_key()), 1.0);
+    assert_eq!(soaked.report.layers.len(), reference.layers.len());
+    for (s, r) in soaked.report.layers.iter().zip(&reference.layers) {
+        assert_eq!(s.keyed_node, r.keyed_node);
+        assert_eq!(s.bits, r.bits);
+        assert_eq!(
+            (s.algebraic, s.learned, s.corrected),
+            (r.algebraic, r.learned, r.corrected),
+            "per-layer decisions must replay identically"
+        );
+    }
+    assert!(
+        soaked.report.queries >= reference.queries,
+        "replayed segments cannot spend fewer rows than the clean run"
+    );
+}
+
+#[test]
+fn mlp_survives_scheduled_kills_bit_identically() {
+    assert_soak_matches_reference(&mlp_victim(), 501);
+}
+
+#[test]
+fn lenet_survives_scheduled_kills_bit_identically() {
+    assert_soak_matches_reference(&lenet_victim(), 511);
+}
+
+/// A checkpoint corrupted *between* segments (disk rot, torn copy) must
+/// not poison the session: the next segment falls back to a fresh run and
+/// the remaining crash points still fire and resume normally.
+#[test]
+fn corrupted_mid_soak_checkpoint_still_recovers_exact_key() {
+    let model = mlp_victim();
+    let reference = reference_run(&model, 501);
+    let q = reference.queries;
+    let g = model.white_box();
+    let chaos = ChaosOracle::new(
+        CountingOracle::new(&model),
+        ChaosConfig::crash_only(9, vec![q / 4, q / 2 + q / 4]),
+    );
+    let dec = Decryptor::new(AttackConfig::fast());
+    let sink = MemoryCheckpointSink::new();
+    let mut kills = 0u32;
+    let report = loop {
+        let broker = Broker::with_config(&chaos, BrokerConfig::default());
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Prng::seed_from_u64(501);
+            dec.resume(g, &broker, &mut rng, &sink, CheckpointPolicy::EVERY_CUT)
+        }));
+        match attempt {
+            Ok(Ok((report, _))) => break report,
+            Ok(Err(e)) => panic!("attack error: {e}"),
+            Err(payload) => {
+                payload.downcast::<ChaosCrash>().expect("scheduled crash");
+                kills += 1;
+                if kills == 1 {
+                    // Rot the snapshot the first resume would load.
+                    let mut bytes = sink.contents().expect("checkpoint written");
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x10;
+                    sink.set(Some(bytes));
+                }
+            }
+        }
+    };
+    assert_eq!(kills, 2);
+    assert_eq!(report.key, reference.key);
+    assert_eq!(report.fidelity(model.true_key()), 1.0);
+}
+
+/// Transient chaos faults (dropped requests) are absorbed by the broker's
+/// retry policy without perturbing the recovered key, and the injected
+/// fault count is published into the broker's statistics.
+#[test]
+fn attack_succeeds_through_transient_chaos_with_retries() {
+    let model = mlp_victim();
+    let chaos = ChaosOracle::new(
+        CountingOracle::new(&model),
+        ChaosConfig {
+            seed: 13,
+            transient_rate: 0.10,
+            ..ChaosConfig::default()
+        },
+    );
+    let broker = Broker::with_config(
+        &chaos,
+        BrokerConfig {
+            retry: RetryPolicy {
+                max_attempts: 24,
+                base_backoff: Duration::ZERO,
+                multiplier: 1,
+            },
+            ..BrokerConfig::default()
+        },
+    );
+    let report = Decryptor::new(AttackConfig::fast())
+        .run_brokered(model.white_box(), &broker, &mut Prng::seed_from_u64(501))
+        .unwrap();
+    assert_eq!(report.fidelity(model.true_key()), 1.0);
+
+    chaos.sync_stats(broker.stats());
+    let snap = broker.snapshot();
+    assert!(snap.injected_faults > 0, "10% drop rate must inject faults");
+    assert_eq!(snap.injected_faults, chaos.counters().transient_errors);
+    assert_eq!(
+        snap.retries, snap.injected_faults,
+        "every transient error costs exactly one retry"
+    );
+
+    // And the values never drifted: a clean oracle agrees bit-for-bit.
+    let clean = reference_run(&model, 501);
+    assert_eq!(report.key, clean.key);
+}

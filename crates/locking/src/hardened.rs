@@ -69,7 +69,16 @@ pub struct NoisyOracle<O> {
 
 impl<O: Oracle> NoisyOracle<O> {
     /// Wraps `inner`, adding `N(0, sigma²)` noise per output element.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma` is negative or non-finite — a silently
+    /// accepted `NaN` sigma would poison every logit the oracle returns.
     pub fn new(inner: O, sigma: f64, seed: u64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "NoisyOracle sigma must be finite and non-negative, got {sigma}"
+        );
         NoisyOracle {
             inner,
             sigma,
@@ -154,11 +163,22 @@ pub struct UnreliableOracle<O> {
 
 impl<O: Oracle> UnreliableOracle<O> {
     /// Wraps `inner`; each `try_query_batch` fails independently with
-    /// probability `failure_rate` (clamped to `[0, 1)`).
+    /// probability `failure_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `failure_rate` is outside `[0, 1]` or non-finite. A
+    /// rate of exactly `1.0` is accepted for the fallible surface but
+    /// internally capped just below it so [`Oracle::query_batch`]'s
+    /// resubmit loop cannot spin forever.
     pub fn new(inner: O, failure_rate: f64, seed: u64) -> Self {
+        assert!(
+            failure_rate.is_finite() && (0.0..=1.0).contains(&failure_rate),
+            "UnreliableOracle failure_rate must be within [0, 1], got {failure_rate}"
+        );
         UnreliableOracle {
             inner,
-            failure_rate: failure_rate.clamp(0.0, 0.999_999),
+            failure_rate: failure_rate.min(0.999_999),
             rng: Mutex::new(Prng::seed_from_u64(seed)),
         }
     }
@@ -298,6 +318,45 @@ mod tests {
         }
         assert!(failures > 5, "only {failures} injected failures");
         assert!(successes > 5, "only {successes} successes");
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate must be within [0, 1]")]
+    fn unreliable_oracle_rejects_rate_above_one() {
+        let _ = UnreliableOracle::new(CountingOracle::new(&model()), 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate must be within [0, 1]")]
+    fn unreliable_oracle_rejects_negative_rate() {
+        let _ = UnreliableOracle::new(CountingOracle::new(&model()), -0.25, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate must be within [0, 1]")]
+    fn unreliable_oracle_rejects_nan_rate() {
+        let _ = UnreliableOracle::new(CountingOracle::new(&model()), f64::NAN, 0);
+    }
+
+    #[test]
+    fn unreliable_oracle_accepts_certain_failure_without_spinning_try() {
+        let o = UnreliableOracle::new(CountingOracle::new(&model()), 1.0, 3);
+        let x = Tensor::zeros([1, 3]);
+        for _ in 0..8 {
+            assert!(o.try_query_batch(&x).is_err(), "rate 1.0 must always fail");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and non-negative")]
+    fn noisy_oracle_rejects_negative_sigma() {
+        let _ = NoisyOracle::new(CountingOracle::new(&model()), -0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and non-negative")]
+    fn noisy_oracle_rejects_nan_sigma() {
+        let _ = NoisyOracle::new(CountingOracle::new(&model()), f64::NAN, 0);
     }
 
     #[test]

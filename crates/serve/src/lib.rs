@@ -50,11 +50,13 @@
 mod broker;
 mod budget;
 mod cache;
+mod chaos;
 mod pool;
 mod retry;
 mod stats;
 
 pub use broker::{Broker, BrokerConfig};
 pub use budget::QueryBudget;
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosCrash, ChaosOracle, Corruption};
 pub use retry::{RetryOracle, RetryPolicy};
 pub use stats::{QueryStats, QueryStatsSnapshot, ScopeCounts, HISTOGRAM_BUCKETS};

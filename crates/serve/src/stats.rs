@@ -53,6 +53,7 @@ pub struct QueryStats {
     underlying: AtomicU64,
     batches: AtomicU64,
     retries: AtomicU64,
+    injected_faults: AtomicU64,
     oracle_nanos: AtomicU64,
     histogram: [AtomicU64; HISTOGRAM_BUCKETS],
     scope: Mutex<ScopeState>,
@@ -102,6 +103,13 @@ impl QueryStats {
         self.retries.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` deliberately injected faults (chaos testing). Kept
+    /// separate from `retries` so a soak run can tell scheduled damage
+    /// apart from organic backend trouble.
+    pub fn record_injected_faults(&self, n: u64) {
+        self.injected_faults.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Rows actually issued to the underlying oracle so far.
     pub fn underlying_queries(&self) -> u64 {
         self.underlying.load(Ordering::Relaxed)
@@ -116,6 +124,7 @@ impl QueryStats {
             underlying: self.underlying.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
             oracle_time: Duration::from_nanos(self.oracle_nanos.load(Ordering::Relaxed)),
             histogram: std::array::from_fn(|i| self.histogram[i].load(Ordering::Relaxed)),
             per_scope: scope
@@ -141,6 +150,9 @@ pub struct QueryStatsSnapshot {
     pub batches: u64,
     /// Backend retry attempts performed.
     pub retries: u64,
+    /// Faults deliberately injected by a chaos harness (see
+    /// `ChaosOracle`); 0 outside fault-injection runs.
+    pub injected_faults: u64,
     /// Wall clock spent inside the underlying oracle.
     pub oracle_time: Duration,
     /// Batch-size histogram (`1, 2–3, 4–7, …, ≥128` requested rows).
@@ -167,6 +179,35 @@ impl QueryStatsSnapshot {
             self.requested as f64 / self.batches as f64
         }
     }
+
+    /// Accumulates `other` into `self` — counters add, histograms add
+    /// bucket-wise, per-scope entries merge by label. A resumed attack uses
+    /// this to splice the pre-crash broker accounting (restored from a
+    /// checkpoint) onto the post-resume segment, so the final report shows
+    /// the whole session.
+    pub fn merge(&mut self, other: &QueryStatsSnapshot) {
+        self.requested += other.requested;
+        self.cache_hits += other.cache_hits;
+        self.underlying += other.underlying;
+        self.batches += other.batches;
+        self.retries += other.retries;
+        self.injected_faults += other.injected_faults;
+        self.oracle_time += other.oracle_time;
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += *b;
+        }
+        for (label, counts) in &other.per_scope {
+            match self.per_scope.iter_mut().find(|(l, _)| l == label) {
+                Some((_, mine)) => {
+                    mine.requested += counts.requested;
+                    mine.cache_hits += counts.cache_hits;
+                    mine.underlying += counts.underlying;
+                }
+                None => self.per_scope.push((label.clone(), *counts)),
+            }
+        }
+        self.per_scope.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
 }
 
 impl fmt::Display for QueryStatsSnapshot {
@@ -180,12 +221,16 @@ impl fmt::Display for QueryStatsSnapshot {
             self.batches,
             self.mean_batch_rows(),
         )?;
-        writeln!(
+        write!(
             f,
             "oracle time: {:.3}s  retries: {}",
             self.oracle_time.as_secs_f64(),
             self.retries
         )?;
+        if self.injected_faults > 0 {
+            write!(f, "  injected faults: {}", self.injected_faults)?;
+        }
+        writeln!(f)?;
         write!(f, "batch-size histogram:")?;
         for (b, &n) in self.histogram.iter().enumerate() {
             if n > 0 {
@@ -261,5 +306,46 @@ mod tests {
         let rendered = snap.to_string();
         assert!(rendered.contains("learning_attack"));
         assert!(rendered.contains("cache hits"));
+    }
+
+    #[test]
+    fn merge_accumulates_counters_scopes_and_histogram() {
+        let a_stats = QueryStats::new();
+        a_stats.set_scope(Some("learning_attack"));
+        a_stats.record_batch(100, 10, 90, Duration::from_millis(4));
+        a_stats.record_retries(2);
+        a_stats.record_injected_faults(3);
+        let mut a = a_stats.snapshot();
+
+        let b_stats = QueryStats::new();
+        b_stats.set_scope(Some("learning_attack"));
+        b_stats.record_batch(50, 0, 50, Duration::from_millis(1));
+        b_stats.set_scope(Some("error_correction"));
+        b_stats.record_batch(1, 1, 0, Duration::ZERO);
+        let b = b_stats.snapshot();
+
+        a.merge(&b);
+        assert_eq!(a.requested, 151);
+        assert_eq!(a.cache_hits, 11);
+        assert_eq!(a.underlying, 140);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.injected_faults, 3);
+        assert_eq!(a.oracle_time, Duration::from_millis(5));
+        assert_eq!(a.histogram.iter().sum::<u64>(), 3);
+        let learn = a
+            .per_scope
+            .iter()
+            .find(|(l, _)| l == "learning_attack")
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert_eq!(learn.requested, 150);
+        assert_eq!(learn.underlying, 140);
+        assert!(a.per_scope.iter().any(|(l, _)| l == "error_correction"));
+        // Labels stay sorted after the merge, matching snapshot() order.
+        let labels: Vec<&str> = a.per_scope.iter().map(|(l, _)| l.as_str()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
     }
 }

@@ -18,4 +18,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Kill-and-resume soak with fixed seeds: crashes the attack three times
+# via scheduled chaos panics and requires a bit-identical key on resume.
+# (The chaos_soak/checkpoint_props test suites already ran above as part
+# of the workspace tests; this exercises the release-built bench path.)
+echo "==> chaos soak (kill-and-resume bench)"
+cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
+
 echo "==> verify OK"

@@ -48,8 +48,9 @@ pub use relock_tensor as tensor;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use relock_attack::{
-        weight_lock_attack, AttackConfig, DecryptionReport, Decryptor, MonolithicAttack,
-        MonolithicConfig, Procedure,
+        weight_lock_attack, AttackConfig, AttackState, CheckpointPolicy, CheckpointSink,
+        DecryptionReport, Decryptor, FileCheckpointSink, MemoryCheckpointSink, MonolithicAttack,
+        MonolithicConfig, Procedure, ResumeStatus,
     };
     pub use relock_data::{cifar_like, mnist_like, two_moons, Dataset};
     pub use relock_graph::{Graph, GraphBuilder, KeyAssignment, KeySlot, NodeId, Op};
@@ -58,6 +59,8 @@ pub mod prelude {
         build_lenet, build_mlp, build_mlp_weight_locked, build_resnet, build_vit, LenetSpec,
         MlpSpec, ResnetSpec, Trainer, VitSpec,
     };
-    pub use relock_serve::{Broker, BrokerConfig, QueryStatsSnapshot, RetryPolicy};
+    pub use relock_serve::{
+        Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, QueryStatsSnapshot, RetryPolicy,
+    };
     pub use relock_tensor::{rng::Prng, Tensor};
 }

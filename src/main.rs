@@ -4,6 +4,7 @@
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
+//!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! ```
 //!
 //! `lock` plays the IP owner: builds one of the four §4.2 victims, embeds
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>]"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
     );
     ExitCode::from(2)
 }
@@ -259,10 +260,54 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
             None => None,
         },
     };
+    let checkpoint = args.value("checkpoint").map(str::to_string);
+    if checkpoint.is_none() {
+        if args.flag("checkpoint").is_some() {
+            return Err("--checkpoint expects a file path".into());
+        }
+        if args.flag("resume").is_some() || args.flag("checkpoint-every").is_some() {
+            return Err("--resume/--checkpoint-every require --checkpoint <file>".into());
+        }
+    }
+    let every = args.u64_value("checkpoint-every", 0)?;
+
     let start = std::time::Instant::now();
-    let report = Decryptor::new(cfg)
-        .run(model.white_box(), &oracle, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let decryptor = Decryptor::new(cfg);
+    let report = match &checkpoint {
+        None => decryptor
+            .run(model.white_box(), &oracle, &mut rng)
+            .map_err(|e| e.to_string())?,
+        Some(path) => {
+            let sink = FileCheckpointSink::new(path);
+            let policy = CheckpointPolicy::every_queries(every);
+            let broker = Broker::with_config(
+                &oracle,
+                BrokerConfig {
+                    max_queries: decryptor.config().query_budget,
+                    ..BrokerConfig::default()
+                },
+            );
+            if args.flag("resume").is_some() {
+                let (report, status) = decryptor
+                    .resume(model.white_box(), &broker, &mut rng, &sink, policy)
+                    .map_err(|e| e.to_string())?;
+                match &status {
+                    ResumeStatus::Fresh => println!("no checkpoint at {path}; starting fresh"),
+                    ResumeStatus::FellBack { reason } => {
+                        println!("checkpoint unusable ({reason}); starting fresh");
+                    }
+                    ResumeStatus::Resumed { layer, phase } => {
+                        println!("resumed from {path} at layer {layer} ({phase})");
+                    }
+                }
+                report
+            } else {
+                decryptor
+                    .run_with_checkpoints(model.white_box(), &broker, &mut rng, &sink, policy)
+                    .map_err(|e| e.to_string())?
+            }
+        }
+    };
     println!("DNN decryption attack:");
     println!("  extracted key: {}", report.key);
     println!(
