@@ -1,0 +1,153 @@
+//! Execution-engine perf smoke: times the end-to-end MLP (and optionally
+//! LeNet) decryption attacks at millisecond precision plus raw forward
+//! throughput, and emits `BENCH_engine.json` so CI tracks the perf
+//! trajectory of the planned execution engine.
+//!
+//! ```text
+//! engine [--lenet] [--out BENCH_engine.json]
+//! ```
+//!
+//! Seeds match the smoke bin (prep 42, attack 43) so the measured attack
+//! is the same workload the correctness suites pin down.
+
+use relock_attack::Decryptor;
+use relock_bench::{attack_config, prepare, Arch, Scale};
+use relock_locking::CountingOracle;
+use relock_serve::{Broker, BrokerConfig};
+use relock_tensor::rng::Prng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Times one full brokered decryption attack, returning (ms, queries).
+fn time_attack(arch: Arch, prep_seed: u64, attack_seed: u64) -> (f64, u64) {
+    let p = prepare(arch, 16, Scale::Fast, prep_seed);
+    let cfg = attack_config(arch, Scale::Fast);
+    let decryptor = Decryptor::new(cfg);
+    let g = p.model.white_box();
+    let oracle = CountingOracle::new(&p.model);
+    // Fresh broker per run: the memo cache must not carry over between
+    // repetitions, or later runs would measure cache hits instead of work.
+    let mut best = f64::INFINITY;
+    let mut queries = 0u64;
+    let reps = if arch == Arch::Mlp { 5 } else { 1 };
+    for _ in 0..reps {
+        let broker = Broker::with_config(&oracle, BrokerConfig::default());
+        let t = Instant::now();
+        let report = decryptor
+            .run_brokered(g, &broker, &mut Prng::seed_from_u64(attack_seed))
+            .expect("attack run");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report.fidelity(p.model.true_key()),
+            1.0,
+            "{} attack must stay exact while being timed",
+            arch.name()
+        );
+        best = best.min(ms);
+        queries = report.queries;
+        if std::env::var_os("ENGINE_TIMING").is_some() {
+            eprintln!("-- {} timing --\n{}", arch.name(), report.timing);
+        }
+    }
+    (best, queries)
+}
+
+/// Raw forward throughput (rows/sec) of the white-box MLP.
+///
+/// `planned == false` times the retired allocate-per-call tree walk
+/// (`forward_reference`); `planned == true` times the compiled-plan path
+/// through one reused [`Workspace`]. Returns `(rows_per_sec, passes)`
+/// where `passes` is the workspace pass counter — every pass after the
+/// first ran entirely in reused buffers (0 for the reference path, which
+/// allocates per node per call).
+fn forward_throughput(batch: usize, planned: bool) -> (f64, u64) {
+    let p = prepare(Arch::Mlp, 16, Scale::Fast, 42);
+    let g = p.model.white_box();
+    let keys = p.model.true_key().to_assignment();
+    let mut rng = Prng::seed_from_u64(7);
+    let x = rng.normal_tensor([batch, g.input_size()]);
+    let mut ws = relock_graph::Workspace::new();
+    // Warm up, then measure ~300ms.
+    for _ in 0..50 {
+        if planned {
+            std::hint::black_box(g.logits_batch_into(&mut ws, &x, &keys));
+        } else {
+            std::hint::black_box(g.forward_reference(&x, &keys));
+        }
+    }
+    let t = Instant::now();
+    let mut iters = 0u64;
+    while t.elapsed().as_secs_f64() < 0.3 {
+        for _ in 0..20 {
+            if planned {
+                std::hint::black_box(g.logits_batch_into(&mut ws, &x, &keys));
+            } else {
+                std::hint::black_box(g.forward_reference(&x, &keys));
+            }
+        }
+        iters += 20;
+    }
+    let rows = iters as f64 * batch as f64 / t.elapsed().as_secs_f64();
+    (rows, ws.passes())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let with_lenet = args.iter().any(|a| a == "--lenet");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let (ref1, _) = forward_throughput(1, false);
+    let (ref32, _) = forward_throughput(32, false);
+    let (fwd1, passes1) = forward_throughput(1, true);
+    let (fwd32, passes32) = forward_throughput(32, true);
+    println!(
+        "forwards/sec (batch=1):  reference {ref1:.0}, planned {fwd1:.0} ({:.2}x)",
+        fwd1 / ref1
+    );
+    println!(
+        "forwards/sec (batch=32): reference {ref32:.0}, planned {fwd32:.0} ({:.2}x)",
+        fwd32 / ref32
+    );
+    let reused = (passes1 - 1) + (passes32 - 1);
+    println!(
+        "workspace passes: {} total, {} served from reused buffers",
+        passes1 + passes32,
+        reused
+    );
+
+    let (mlp_ms, mlp_q) = time_attack(Arch::Mlp, 42, 43);
+    println!("MLP-16 attack: {mlp_ms:.1} ms ({mlp_q} queries)");
+
+    let lenet = if with_lenet {
+        let (ms, q) = time_attack(Arch::Lenet, 42, 43);
+        println!("LeNet-16 attack: {ms:.1} ms ({q} queries)");
+        Some((ms, q))
+    } else {
+        None
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"forwards_per_sec_batch1\": {fwd1:.1},");
+    let _ = writeln!(json, "  \"forwards_per_sec_batch32\": {fwd32:.1},");
+    let _ = writeln!(json, "  \"reference_forwards_per_sec_batch1\": {ref1:.1},");
+    let _ = writeln!(
+        json,
+        "  \"reference_forwards_per_sec_batch32\": {ref32:.1},"
+    );
+    let _ = writeln!(json, "  \"workspace_reused_passes\": {reused},");
+    let _ = writeln!(json, "  \"mlp_attack_ms\": {mlp_ms:.2},");
+    let _ = writeln!(json, "  \"mlp_attack_queries\": {mlp_q},");
+    if let Some((ms, q)) = lenet {
+        let _ = writeln!(json, "  \"lenet_attack_ms\": {ms:.2},");
+        let _ = writeln!(json, "  \"lenet_attack_queries\": {q},");
+    }
+    let _ = writeln!(json, "  \"threads\": {}", relock_bench::bench_threads());
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,144 @@
+//! Micro-timing of the attack's hot components (baseline tree).
+
+use relock_bench::{prepare, Arch, Scale};
+use relock_locking::{CountingOracle, Oracle};
+use relock_tensor::rng::Prng;
+use std::time::Instant;
+
+fn main() {
+    let p = prepare(Arch::Mlp, 16, Scale::Fast, 42);
+    let g = p.model.white_box();
+    let keys = p.model.true_key().to_assignment();
+    let mut rng = Prng::seed_from_u64(7);
+
+    // 1. forward+backward on a learning-size batch.
+    let xb = rng.normal_tensor([64, g.input_size()]);
+    let grad = rng.normal_tensor([64, g.output_size()]);
+    let t = Instant::now();
+    for _ in 0..2000 {
+        let acts = g.forward(&xb, &keys);
+        let grads = g.backward(&acts, &grad, &keys);
+        std::hint::black_box(&grads);
+    }
+    println!(
+        "fwd+bwd b=64      {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 2000.0
+    );
+
+    // 2. forward only, line-search-size batch.
+    let xs = rng.normal_tensor([25, g.input_size()]);
+    let t = Instant::now();
+    for _ in 0..20000 {
+        std::hint::black_box(g.logits_batch(&xs, &keys));
+    }
+    println!(
+        "logits b=25       {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 20000.0
+    );
+
+    // 3. oracle query path (pool + clone in new tree).
+    let oracle = CountingOracle::new(&p.model);
+    let t = Instant::now();
+    for _ in 0..20000 {
+        std::hint::black_box(oracle.query_batch(&xs));
+    }
+    println!(
+        "oracle b=25       {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 20000.0
+    );
+
+    // 4. single-sample logits (critical-point probes).
+    let x1 = rng.normal_tensor([g.input_size()]);
+    let t = Instant::now();
+    for _ in 0..50000 {
+        std::hint::black_box(g.logits(&x1, &keys));
+    }
+    println!(
+        "logits b=1        {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 50000.0
+    );
+
+    // 5. planned paths with a reused workspace (what the loops run).
+    let mut ws = relock_graph::Workspace::new();
+    let t = Instant::now();
+    for _ in 0..2000 {
+        g.forward_into(&mut ws, &xb, &keys);
+        let grads = g.backward_into(&mut ws, &grad, &keys, false);
+        std::hint::black_box(&grads);
+    }
+    println!(
+        "fwd+bwd_into k-only {:6.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 2000.0
+    );
+    let t = Instant::now();
+    for _ in 0..2000 {
+        g.forward_into(&mut ws, &xb, &keys);
+        let grads = g.backward_into(&mut ws, &grad, &keys, true);
+        std::hint::black_box(&grads);
+    }
+    println!(
+        "fwd+bwd_into full {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 2000.0
+    );
+    let t = Instant::now();
+    for _ in 0..20000 {
+        std::hint::black_box(g.logits_batch_into(&mut ws, &xs, &keys));
+    }
+    println!(
+        "logits_into b=25  {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 20000.0
+    );
+    let t = Instant::now();
+    for _ in 0..50000 {
+        std::hint::black_box(g.logits_batch_into(&mut ws, &x1, &keys));
+    }
+    println!(
+        "logits_into b=1   {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 50000.0
+    );
+
+    // 5b. learning-step shapes: batch 24 forward / forward+backward.
+    let xb24 = rng.normal_tensor([24, g.input_size()]);
+    let grad24 = rng.normal_tensor([24, g.output_size()]);
+    let t = Instant::now();
+    for _ in 0..20000 {
+        g.forward_into(&mut ws, &xb24, &keys);
+        std::hint::black_box(ws.value(g.output_id()));
+    }
+    println!(
+        "fwd_into b=24     {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 20000.0
+    );
+    let t = Instant::now();
+    for _ in 0..20000 {
+        g.forward_into(&mut ws, &xb24, &keys);
+        let grads = g.backward_into(&mut ws, &grad24, &keys, false);
+        std::hint::black_box(&grads);
+    }
+    println!(
+        "fwd+bwd b=24 k-o  {:8.2} us/iter",
+        t.elapsed().as_secs_f64() * 1e6 / 20000.0
+    );
+
+    // 6. raw gemm kernels at the attack's layer shapes.
+    for (m, k, n) in [
+        (25usize, 48usize, 32usize),
+        (25, 32, 16),
+        (25, 16, 10),
+        (24, 48, 32),
+    ] {
+        let a = rng.normal_tensor([m, k]);
+        let b = rng.normal_tensor([k, n]);
+        let mut o = relock_tensor::Tensor::zeros([m, n]);
+        let t = Instant::now();
+        for _ in 0..100000 {
+            a.matmul_into(&b, &mut o);
+            std::hint::black_box(&o);
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6 / 100000.0;
+        println!(
+            "gemm_nn {m}x{k}x{n}   {us:8.3} us  ({:.2} madd/ns)",
+            (m * k * n) as f64 / us / 1e3
+        );
+    }
+}

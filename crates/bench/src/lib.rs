@@ -422,6 +422,14 @@ pub fn run_decryption(
     )
 }
 
+/// Worker threads available to the compute kernels, as reported in
+/// `BENCH_engine.json` so perf numbers carry their machine context.
+pub fn bench_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Env-driven architecture filter (`RELOCK_ARCHS=mlp,resnet`).
 pub fn arch_filter() -> Vec<Arch> {
     match std::env::var("RELOCK_ARCHS") {

@@ -11,7 +11,7 @@
 //! white-box network.
 
 use crate::config::AttackConfig;
-use relock_graph::{Graph, KeyAssignment, NodeId};
+use relock_graph::{Graph, KeyAssignment, NodeId, Workspace};
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
 
@@ -63,15 +63,17 @@ impl TargetScalar {
     }
 }
 
-/// Evaluates the target scalar at a batch of points.
+/// Evaluates the target scalar at a batch of points through a reusable
+/// workspace (a rank-1 or rank-2 `points` both work).
 fn z_batch(
     g: &Graph,
+    ws: &mut Workspace,
     keys: &KeyAssignment,
     pre_node: NodeId,
     target: &TargetScalar,
     points: &Tensor,
 ) -> Vec<f64> {
-    let vals = g.eval_node(points, keys, pre_node);
+    let vals = g.eval_node_into(ws, points, keys, pre_node);
     let (b, size) = (vals.dims()[0], vals.dims()[1]);
     (0..b)
         .map(|s| target.eval(&vals.as_slice()[s * size..(s + 1) * size]))
@@ -81,24 +83,26 @@ fn z_batch(
 /// Evaluates one element of a node's output at a single point.
 pub(crate) fn z_at(
     g: &Graph,
+    ws: &mut Workspace,
     keys: &KeyAssignment,
     pre_node: NodeId,
     elem: usize,
     x: &Tensor,
 ) -> f64 {
-    let vals = g.eval_node(&x.reshape([1, x.numel()]), keys, pre_node);
+    let vals = g.eval_node_into(ws, x, keys, pre_node);
     vals.as_slice()[elem]
 }
 
 /// Evaluates a [`TargetScalar`] at a single point.
 fn target_at(
     g: &Graph,
+    ws: &mut Workspace,
     keys: &KeyAssignment,
     pre_node: NodeId,
     target: &TargetScalar,
     x: &Tensor,
 ) -> f64 {
-    let vals = g.eval_node(&x.reshape([1, x.numel()]), keys, pre_node);
+    let vals = g.eval_node_into(ws, x, keys, pre_node);
     target.eval(vals.as_slice())
 }
 
@@ -116,12 +120,49 @@ pub fn search_critical_point(
     cfg: &AttackConfig,
     rng: &mut Prng,
 ) -> Option<CriticalPoint> {
-    search_target_critical_point(g, keys, pre_node, &TargetScalar::Element(elem), cfg, rng)
+    let mut ws = Workspace::new();
+    search_critical_point_with(g, &mut ws, keys, pre_node, elem, cfg, rng)
+}
+
+/// [`search_critical_point`] through a caller-owned workspace, so attack
+/// loops sweeping many neurons pay for the evaluation buffers once.
+pub fn search_critical_point_with(
+    g: &Graph,
+    ws: &mut Workspace,
+    keys: &KeyAssignment,
+    pre_node: NodeId,
+    elem: usize,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Option<CriticalPoint> {
+    search_target_critical_point_with(
+        g,
+        ws,
+        keys,
+        pre_node,
+        &TargetScalar::Element(elem),
+        cfg,
+        rng,
+    )
 }
 
 /// Generalized critical-point search on any [`TargetScalar`] of a node.
 pub fn search_target_critical_point(
     g: &Graph,
+    keys: &KeyAssignment,
+    pre_node: NodeId,
+    target: &TargetScalar,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Option<CriticalPoint> {
+    let mut ws = Workspace::new();
+    search_target_critical_point_with(g, &mut ws, keys, pre_node, target, cfg, rng)
+}
+
+/// [`search_target_critical_point`] through a caller-owned workspace.
+pub fn search_target_critical_point_with(
+    g: &Graph,
+    ws: &mut Workspace,
     keys: &KeyAssignment,
     pre_node: NodeId,
     target: &TargetScalar,
@@ -143,7 +184,14 @@ pub fn search_target_critical_point(
                 pts.push(anchor.as_slice()[d] + t * dir.as_slice()[d]);
             }
         }
-        let zs = z_batch(g, keys, pre_node, target, &Tensor::from_vec(pts, [n, p]));
+        let zs = z_batch(
+            g,
+            ws,
+            keys,
+            pre_node,
+            target,
+            &Tensor::from_vec(pts, [n, p]),
+        );
         // Find the first adjacent strict sign change.
         let Some(seg) = (0..n - 1).find(|&i| zs[i] * zs[i + 1] < 0.0) else {
             continue;
@@ -164,7 +212,7 @@ pub fn search_target_critical_point(
         let mut zmid = 0.0;
         for _ in 0..cfg.bisect_iters {
             mid = 0.5 * (lo + hi);
-            zmid = target_at(g, keys, pre_node, target, &at(mid));
+            zmid = target_at(g, ws, keys, pre_node, target, &at(mid));
             if zmid.abs() <= cfg.bisect_tol && (hi - lo) <= bracket_goal {
                 break;
             }
@@ -250,7 +298,8 @@ mod tests {
         // Moving along the crossing direction must change z.
         let mut moved = cp.x.clone();
         moved.axpy(1e-3, &cp.crossing_dir);
-        let z = z_at(&g, &keys, lin, 0, &moved);
+        let mut ws = Workspace::new();
+        let z = z_at(&g, &mut ws, &keys, lin, 0, &moved);
         assert!(z.abs() > 1e-7, "z barely moved: {z}");
     }
 }

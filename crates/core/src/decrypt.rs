@@ -21,13 +21,13 @@ use crate::checkpoint::{
 use crate::config::AttackConfig;
 use crate::correct::correction_plan;
 use crate::error::AttackError;
-use crate::infer::{key_bit_inference, InferredBits};
+use crate::infer::{key_bit_inference_with, InferredBits};
 use crate::learning::{
     learning_attack, multipliers_from_pairs, multipliers_to_pairs, LearnedMultipliers,
 };
 use crate::telemetry::{Procedure, QueryStatsSnapshot, TimingBreakdown};
-use crate::validate::{key_vector_validation_checked, ValidationTarget, ValidationVerdict};
-use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId};
+use crate::validate::{key_vector_validation_checked_with, ValidationTarget, ValidationVerdict};
+use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Workspace};
 use relock_locking::{Key, Oracle};
 use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
@@ -296,6 +296,10 @@ impl Decryptor {
         let start_queries = oracle.query_count();
         let layers = group_layers(white_box);
         let n_slots = white_box.key_slot_count();
+        // One execution workspace for the whole session: every white-box
+        // evaluation of the serial phases (witness searches, Jacobians,
+        // validation probes) reuses its buffers.
+        let mut ws = Workspace::new();
 
         // Session state: fresh defaults, or the snapshot's restoration.
         let mut timing;
@@ -447,7 +451,7 @@ impl Decryptor {
                 } else {
                     broker.set_scope(Some(Procedure::KeyBitInference.label()));
                     timing.time(Procedure::KeyBitInference, || {
-                        self.infer_layer(white_box, &ka, layer_sites, oracle, rng)
+                        self.infer_layer(white_box, &mut ws, &ka, layer_sites, oracle, rng)
                     })
                 };
                 for (slot, bit) in &inf {
@@ -580,7 +584,15 @@ impl Decryptor {
                 // learning path is the fallback the paper's adversary is
                 // left with.
                 let mut ok = match timing.time(Procedure::KeyVectorValidation, || {
-                    key_vector_validation_checked(white_box, &ka, target.as_ref(), oracle, cfg, rng)
+                    key_vector_validation_checked_with(
+                        white_box,
+                        &mut ws,
+                        &ka,
+                        target.as_ref(),
+                        oracle,
+                        cfg,
+                        rng,
+                    )
                 }) {
                     Ok(v) => v.tolerated(),
                     Err(_) => {
@@ -624,8 +636,9 @@ impl Decryptor {
                     report.validation_rounds += 1;
                     broker.set_scope(Some(Procedure::KeyVectorValidation.label()));
                     ok = match timing.time(Procedure::KeyVectorValidation, || {
-                        key_vector_validation_checked(
+                        key_vector_validation_checked_with(
                             white_box,
+                            &mut ws,
                             &ka,
                             target.as_ref(),
                             oracle,
@@ -703,8 +716,9 @@ impl Decryptor {
                     }
                     // Correction candidates must produce affirmative
                     // evidence: NoEvidence counts as failure here.
-                    let verdict = key_vector_validation_checked(
+                    let verdict = key_vector_validation_checked_with(
                         white_box,
+                        &mut ws,
                         &ka,
                         target.as_ref(),
                         oracle,
@@ -783,9 +797,11 @@ impl Decryptor {
     }
 
     /// Runs Algorithm 1 on every site of a layer, optionally in parallel.
+    #[allow(clippy::too_many_arguments)]
     fn infer_layer(
         &self,
         g: &Graph,
+        ws: &mut Workspace,
         ka: &KeyAssignment,
         sites: &[LockSite],
         oracle: &dyn Oracle,
@@ -795,7 +811,12 @@ impl Decryptor {
         if cfg.threads <= 1 || sites.len() < 2 {
             return sites
                 .iter()
-                .map(|s| (s.slot, key_bit_inference(g, ka, s, oracle, cfg, rng)))
+                .map(|s| {
+                    (
+                        s.slot,
+                        key_bit_inference_with(g, ws, ka, s, oracle, cfg, rng),
+                    )
+                })
                 .collect();
         }
         // Deterministic parallelism: one forked RNG per site, fixed order.
@@ -818,12 +839,15 @@ impl Decryptor {
                 let my_sites = &sites[offset..offset + take];
                 offset += take;
                 scope.spawn(move || {
+                    // Workspaces are not shared across threads; one per
+                    // worker amortizes over its whole chunk of sites.
+                    let mut ws = Workspace::new();
                     for ((out, site_rng), site) in
                         res_head.iter_mut().zip(rng_head.iter_mut()).zip(my_sites)
                     {
                         *out = Some((
                             site.slot,
-                            key_bit_inference(g, ka, site, oracle, cfg, site_rng),
+                            key_bit_inference_with(g, &mut ws, ka, site, oracle, cfg, site_rng),
                         ));
                     }
                 });

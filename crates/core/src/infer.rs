@@ -8,8 +8,8 @@
 //! move is the side where the (possibly flipped) ReLU is inactive.
 
 use crate::config::AttackConfig;
-use crate::critical::{search_critical_point, z_at};
-use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Op, Saved};
+use crate::critical::{search_critical_point_with, z_at};
+use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Op, Saved, Workspace};
 use relock_locking::Oracle;
 use relock_tensor::linalg::preimage;
 use relock_tensor::rng::Prng;
@@ -23,21 +23,27 @@ pub type InferredBits = Vec<(KeySlot, Option<bool>)>;
 /// The discrete "linear region signature" of a point: ReLU activity masks
 /// and max-pool winners over the ancestors of `upto`. Two points share a
 /// linear region of the sub-network below `upto` iff their signatures match.
-fn region_signature(g: &Graph, keys: &KeyAssignment, x: &Tensor, upto: NodeId) -> Vec<u8> {
-    let acts = g.forward_partial(&x.reshape([1, x.numel()]), keys, upto);
-    let ancestors = g.ancestors_of(upto);
+fn region_signature(
+    g: &Graph,
+    ws: &mut Workspace,
+    keys: &KeyAssignment,
+    x: &Tensor,
+    upto: NodeId,
+) -> Vec<u8> {
+    g.forward_partial_into(ws, x, keys, upto);
+    let plan = g.plan();
     let mut sig = Vec::new();
     // Deterministic node order — signatures must be comparable across calls.
     for idx in 0..=upto.index() {
         let id = NodeId(idx);
-        if !ancestors.contains(&id) {
+        if !plan.is_ancestor(id, upto) {
             continue;
         }
         match g.node(id).op {
             Op::Relu | Op::MaxPool2d { .. } => {}
             _ => continue,
         }
-        match acts.saved_of(id) {
+        match ws.saved_of(id) {
             Saved::Mask(m) => sig.extend(m.as_slice().iter().map(|&v| v as u8)),
             Saved::ArgMax(a) => sig.extend(a.iter().map(|&i| (i % 251) as u8)),
             _ => {}
@@ -60,6 +66,23 @@ pub fn key_bit_inference(
     cfg: &AttackConfig,
     rng: &mut Prng,
 ) -> Option<bool> {
+    let mut ws = Workspace::new();
+    key_bit_inference_with(g, &mut ws, keys, site, oracle, cfg, rng)
+}
+
+/// [`key_bit_inference`] through a caller-owned workspace: the critical-point
+/// search, the Jacobian, and every region/pre-activation probe of one site
+/// share the same buffers, and the decryptor hands one workspace down its
+/// whole site loop.
+pub fn key_bit_inference_with(
+    g: &Graph,
+    ws: &mut Workspace,
+    keys: &KeyAssignment,
+    site: &LockSite,
+    oracle: &dyn Oracle,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Option<bool> {
     // The algebraic step is specific to sign locks; other operators route
     // to the learning attack (§3.9 reduction).
     if !matches!(g.node(site.keyed_node).op, Op::KeyedSign { .. }) {
@@ -76,11 +99,11 @@ pub fn key_bit_inference(
     let elem = site.scalar_index();
 
     for _ in 0..cfg.max_site_attempts {
-        let Some(cp) = search_critical_point(g, keys, pre_node, elem, cfg, rng) else {
+        let Some(cp) = search_critical_point_with(g, ws, keys, pre_node, elem, cfg, rng) else {
             continue;
         };
-        let acts = g.forward_partial(&cp.x.reshape([1, p]), keys, pre_node);
-        let jac = g.input_jacobian(&acts, pre_node, keys);
+        g.forward_partial_into(ws, &cp.x, keys, pre_node);
+        let jac = g.input_jacobian_into(ws, pre_node, keys);
         let e = Tensor::basis(d_i, elem);
         let Some(pre) = preimage(&jac, &e, cfg.preimage_tol) else {
             // No pre-image in this region; a different region might still
@@ -101,7 +124,7 @@ pub fn key_bit_inference(
 
         // Pick an ε that keeps x° ± ε·v inside the current linear region
         // and actually moves the target pre-activation by ±ε.
-        let sig0 = region_signature(g, keys, &cp.x, pre_node);
+        let sig0 = region_signature(g, ws, keys, &cp.x, pre_node);
         let mut eps = cfg.epsilon;
         let mut probes = None;
         while eps >= cfg.epsilon_min {
@@ -109,13 +132,13 @@ pub fn key_bit_inference(
             xp.axpy(eps, &v);
             let mut xm = cp.x.clone();
             xm.axpy(-eps, &v);
-            let zp = z_at(g, keys, pre_node, elem, &xp);
-            let zm = z_at(g, keys, pre_node, elem, &xm);
+            let zp = z_at(g, ws, keys, pre_node, elem, &xp);
+            let zm = z_at(g, ws, keys, pre_node, elem, &xm);
             let moved_right =
                 (zp - (cp.z + eps)).abs() <= 0.2 * eps && (zm - (cp.z - eps)).abs() <= 0.2 * eps;
             if moved_right
-                && region_signature(g, keys, &xp, pre_node) == sig0
-                && region_signature(g, keys, &xm, pre_node) == sig0
+                && region_signature(g, ws, keys, &xp, pre_node) == sig0
+                && region_signature(g, ws, keys, &xm, pre_node) == sig0
             {
                 probes = Some((xp, xm));
                 break;

@@ -10,7 +10,7 @@
 
 use crate::config::LearningConfig;
 use crate::probs::{looks_like_probabilities, softmax_rows, softmax_vjp_rows};
-use relock_graph::{Graph, KeyAssignment, KeySlot};
+use relock_graph::{Graph, KeyAssignment, KeySlot, Workspace};
 use relock_locking::Oracle;
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
@@ -117,6 +117,10 @@ pub fn learning_attack(
     let (mut m1, mut m2) = (vec![0.0; theta.len()], vec![0.0; theta.len()]);
     let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
     let mut t = 0u64;
+    // One workspace for every mini-batch forward/backward of the run; the
+    // weights are frozen (only θ moves), so the planned path's cached
+    // effective weights survive the whole training loop.
+    let mut ws = Workspace::new();
 
     let mut best_loss = f64::INFINITY;
     let mut stale_epochs = 0usize;
@@ -137,8 +141,8 @@ pub fn learning_attack(
             let xb = Tensor::from_vec(xb, [chunk.len(), p]);
             let yb = Tensor::from_vec(yb, [chunk.len(), q]);
 
-            let acts = g.forward(&xb, &ka);
-            let logits = acts.value(g.output_id());
+            g.forward_into(&mut ws, &xb, &ka);
+            let logits = ws.value(g.output_id());
             let (diff, grad_out) = if oracle_is_softmax {
                 let probs = softmax_rows(logits);
                 let diff = probs.zip_map(&yb, |a, b| a - b);
@@ -153,7 +157,9 @@ pub fn learning_attack(
             epoch_loss +=
                 diff.as_slice().iter().map(|d| d * d).sum::<f64>() / (chunk.len() * q) as f64;
             batches += 1;
-            let grads = g.backward(&acts, &grad_out, &ka);
+            // Keys-only backward: the graph's weights are frozen, so the
+            // expensive per-layer weight-gradient matrices are never formed.
+            let grads = g.backward_into(&mut ws, &grad_out, &ka, false);
 
             t += 1;
             let (bc1, bc2) = (1.0 - b1.powi(t as i32), 1.0 - b2.powi(t as i32));

@@ -9,8 +9,8 @@
 //! crosses the segment, and is `Θ(δ)` when one does.
 
 use crate::config::AttackConfig;
-use crate::critical::{search_target_critical_point, TargetScalar};
-use relock_graph::{Graph, KeyAssignment, KeySlot, NodeId, UnitLayout};
+use crate::critical::{search_target_critical_point_with, TargetScalar};
+use relock_graph::{Graph, KeyAssignment, KeySlot, NodeId, UnitLayout, Workspace};
 use relock_locking::{Oracle, OracleError};
 use relock_tensor::rng::Prng;
 use relock_tensor::Tensor;
@@ -71,6 +71,7 @@ fn second_difference(
 /// window it does not win).
 fn whitebox_second_difference(
     g: &Graph,
+    ws: &mut Workspace,
     ka: &KeyAssignment,
     x: &Tensor,
     u: &Tensor,
@@ -85,7 +86,7 @@ fn whitebox_second_difference(
     xm.axpy(-delta, u);
     pts.extend_from_slice(xp.as_slice());
     pts.extend_from_slice(xm.as_slice());
-    let out = g.logits_batch(&Tensor::from_vec(pts, [3, p]), ka);
+    let out = g.logits_batch_into(ws, &Tensor::from_vec(pts, [3, p]), ka);
     let q = out.dims()[1];
     let o = out.as_slice();
     let mut max_c = 0.0f64;
@@ -120,8 +121,10 @@ enum WitnessVerdict {
 /// layer norm) scales *quadratically*. Requiring both a magnitude above
 /// `kink_tol` and a ≥ 0.4 ratio under halving separates the regimes
 /// without model-specific thresholds.
+#[allow(clippy::too_many_arguments)]
 fn probe_witness(
     g: &Graph,
+    ws: &mut Workspace,
     observability_keys: &[&KeyAssignment],
     oracle: &dyn Oracle,
     x: &Tensor,
@@ -142,7 +145,7 @@ fn probe_witness(
         // the oracle's (unknown-bit) masking could differ from ours.
         let mut visible = true;
         for ka in observability_keys {
-            let (wb, wb_scale) = whitebox_second_difference(g, ka, x, &u, cfg.probe_delta);
+            let (wb, wb_scale) = whitebox_second_difference(g, ws, ka, x, &u, cfg.probe_delta);
             if wb / wb_scale < cfg.kink_tol {
                 visible = false;
                 break;
@@ -191,6 +194,7 @@ fn probe_witness(
 #[allow(clippy::too_many_arguments)]
 fn probe_unit(
     g: &Graph,
+    ws: &mut Workspace,
     ka: &KeyAssignment,
     t: &ValidationTarget,
     unit: usize,
@@ -243,11 +247,12 @@ fn probe_unit(
         }
         let mut refutes_here = 0usize;
         for scalar in &scalars {
-            let Some(cp) = search_target_critical_point(g, ka_h, t.surface_node, scalar, cfg, rng)
+            let Some(cp) =
+                search_target_critical_point_with(g, ws, ka_h, t.surface_node, scalar, cfg, rng)
             else {
                 continue;
             };
-            match probe_witness(g, &[ka_h], oracle, &cp.x, &cp.crossing_dir, cfg, rng)? {
+            match probe_witness(g, ws, &[ka_h], oracle, &cp.x, &cp.crossing_dir, cfg, rng)? {
                 WitnessVerdict::Confirmed => return Ok(WitnessVerdict::Confirmed),
                 WitnessVerdict::Refuted => refutes_here += 1,
                 WitnessVerdict::NotObservable => {}
@@ -285,8 +290,10 @@ fn probe_unit(
 /// the location is not observable from the output, `Some(true)` on a
 /// confirmed oracle kink, `Some(false)` when the oracle is smooth there.
 /// Oracle failures (budget, deadline, dead backend) propagate.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn oracle_kink_at(
     g: &Graph,
+    ws: &mut Workspace,
     ka: &KeyAssignment,
     oracle: &dyn Oracle,
     x: &Tensor,
@@ -295,7 +302,7 @@ pub(crate) fn oracle_kink_at(
     rng: &mut Prng,
 ) -> Result<Option<bool>, OracleError> {
     Ok(
-        match probe_witness(g, &[ka], oracle, x, first_dir, cfg, rng)? {
+        match probe_witness(g, ws, &[ka], oracle, x, first_dir, cfg, rng)? {
             WitnessVerdict::Confirmed => Some(true),
             WitnessVerdict::Refuted => Some(false),
             WitnessVerdict::NotObservable => None,
@@ -382,6 +389,23 @@ pub fn key_vector_validation_checked(
     cfg: &AttackConfig,
     rng: &mut Prng,
 ) -> Result<ValidationVerdict, OracleError> {
+    let mut ws = Workspace::new();
+    key_vector_validation_checked_with(g, &mut ws, ka, target, oracle, cfg, rng)
+}
+
+/// [`key_vector_validation_checked`] through a caller-owned workspace: all
+/// witness searches and white-box observability probes of the pass share
+/// one set of forward buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn key_vector_validation_checked_with(
+    g: &Graph,
+    ws: &mut Workspace,
+    ka: &KeyAssignment,
+    target: Option<&ValidationTarget>,
+    oracle: &dyn Oracle,
+    cfg: &AttackConfig,
+    rng: &mut Prng,
+) -> Result<ValidationVerdict, OracleError> {
     match target {
         Some(t) => {
             let mut informative = 0usize;
@@ -398,7 +422,7 @@ pub fn key_vector_validation_checked(
                 {
                     break;
                 }
-                match probe_unit(g, ka, t, unit, slot, oracle, cfg, rng)? {
+                match probe_unit(g, ws, ka, t, unit, slot, oracle, cfg, rng)? {
                     WitnessVerdict::Confirmed => {
                         informative += 1;
                         confirmed += 1;
@@ -442,14 +466,16 @@ pub fn key_vector_validation_checked(
             let x = rng
                 .normal_tensor([cfg.final_check_samples, p])
                 .scale(cfg.input_scale);
-            let mut ours = g.logits_batch(&x, ka);
             let theirs = oracle.try_query_batch(&x)?;
+            let ours = g.logits_batch_into(ws, &x, ka);
             // A probability oracle is compared in probability space.
-            if crate::probs::looks_like_probabilities(&theirs) {
-                ours = crate::probs::softmax_rows(&ours);
-            }
+            let diff = if crate::probs::looks_like_probabilities(&theirs) {
+                crate::probs::softmax_rows(ours).max_abs_diff(&theirs)
+            } else {
+                ours.max_abs_diff(&theirs)
+            };
             let scale = theirs.norm_inf().max(1.0);
-            Ok(if ours.max_abs_diff(&theirs) / scale <= cfg.eq_tol {
+            Ok(if diff / scale <= cfg.eq_tol {
                 ValidationVerdict::Pass
             } else {
                 ValidationVerdict::Fail

@@ -10,9 +10,9 @@
 //! enumerated, since they shape a single hyperplane together.
 
 use crate::config::AttackConfig;
-use crate::critical::search_critical_point;
+use crate::critical::search_critical_point_with;
 use crate::validate::oracle_kink_at;
-use relock_graph::{Graph, KeyAssignment, KeySlot, NodeId, Op};
+use relock_graph::{Graph, KeyAssignment, KeySlot, NodeId, Op, Workspace};
 use relock_locking::{Key, Oracle};
 use relock_tensor::rng::Prng;
 use std::collections::BTreeMap;
@@ -44,6 +44,8 @@ pub fn weight_lock_attack(
     let start_queries = oracle.query_count();
     let mut ka = KeyAssignment::all_zero_bits(g.key_slot_count());
     let mut unresolved = 0usize;
+    // One workspace for every hypothesis' witness searches and probes.
+    let mut ws = Workspace::new();
 
     // Group slots by (linear node, weight row): one hyperplane per group.
     let mut groups: BTreeMap<(NodeId, usize), Vec<KeySlot>> = BTreeMap::new();
@@ -72,10 +74,11 @@ pub fn weight_lock_attack(
             let mut confirms = 0usize;
             let mut probes = 0usize;
             for _ in 0..(2 * cfg.witness_attempts) {
-                let Some(cp) = search_critical_point(g, &ka, node, row, cfg, rng) else {
+                let Some(cp) = search_critical_point_with(g, &mut ws, &ka, node, row, cfg, rng)
+                else {
                     break;
                 };
-                match oracle_kink_at(g, &ka, oracle, &cp.x, &cp.crossing_dir, cfg, rng) {
+                match oracle_kink_at(g, &mut ws, &ka, oracle, &cp.x, &cp.crossing_dir, cfg, rng) {
                     Ok(Some(true)) => {
                         confirms += 1;
                         probes += 1;

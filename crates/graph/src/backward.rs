@@ -34,9 +34,22 @@ impl Op {
     /// bias-like)` parameter gradients. Key-multiplier gradients are
     /// accumulated into `key_grads`.
     ///
+    /// With `want_params == false` the parameter gradients are skipped —
+    /// `Linear` in particular never forms its `(out, in)` weight-gradient
+    /// matrix, which is most of the reverse-pass FLOPs when only key
+    /// gradients are wanted (the §3.6 learning attack). Key gradients are
+    /// identical either way.
+    ///
+    /// With `want_dx == false` the input gradients are skipped as well
+    /// (the planned reverse pass clears it for nodes with no key-dependent
+    /// ancestor): `Linear`/`TokenLinear` skip their `dX` product and
+    /// return no input gradients; other ops may still return them — the
+    /// caller drops whatever comes back.
+    ///
     /// # Panics
     ///
     /// Panics if the shapes are inconsistent with the forward pass.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn backward_batch(
         &self,
         inputs: &[&Tensor],
@@ -44,6 +57,8 @@ impl Op {
         grad_out: &Tensor,
         keys: &KeyAssignment,
         key_grads: &mut [f64],
+        want_params: bool,
+        want_dx: bool,
     ) -> (Vec<Tensor>, Option<(Tensor, Tensor)>) {
         match self {
             Op::Input { .. } => unreachable!("input nodes have no backward"),
@@ -51,6 +66,25 @@ impl Op {
                 w, weight_locks, ..
             } => {
                 let x = inputs[0];
+                if !want_params {
+                    // Key gradients of §3.9(b) locks need single entries of
+                    // the raw weight gradient dYᵀX; compute just those dot
+                    // products (in the same batch order as `matmul_tn`, so
+                    // the sums are bit-identical to the full-matrix path).
+                    let batch = x.dims()[0];
+                    for l in weight_locks {
+                        let mut raw = 0.0;
+                        for s in 0..batch {
+                            raw += grad_out.get2(s, l.row) * x.get2(s, l.col);
+                        }
+                        key_grads[l.slot.index()] += w.get2(l.row, l.col) * raw;
+                    }
+                    if !want_dx {
+                        return (Vec::new(), None);
+                    }
+                    let dx = grad_out.matmul(&effective_linear_weight(self, keys));
+                    return (vec![dx], None);
+                }
                 let w_eff = effective_linear_weight(self, keys);
                 let dx = grad_out.matmul(&w_eff);
                 let mut dw = grad_out.matmul_tn(x); // (out, in) via dYᵀ X
@@ -96,7 +130,7 @@ impl Op {
                 }
                 (
                     vec![Tensor::from_vec(dx, [batch, in_size])],
-                    Some((dw, Tensor::from_slice(&db))),
+                    want_params.then(|| (dw, Tensor::from_slice(&db))),
                 )
             }
             Op::Relu => {
@@ -208,9 +242,16 @@ impl Op {
                 let batch = x.dims()[0];
                 let inp = w.dims()[1];
                 let out_dim = w.dims()[0];
-                let flat_x = x.reshape([batch * tokens, inp]);
                 let flat_g = grad_out.reshape([batch * tokens, out_dim]);
+                if !want_params {
+                    if !want_dx {
+                        return (Vec::new(), None);
+                    }
+                    let dx = flat_g.matmul(w).into_reshaped([batch, tokens * inp]);
+                    return (vec![dx], None);
+                }
                 let dx = flat_g.matmul(w).into_reshaped([batch, tokens * inp]);
+                let flat_x = x.reshape([batch * tokens, inp]);
                 let dw = flat_g.matmul_tn(&flat_x);
                 let db = col_sum(&flat_g);
                 (vec![dx], Some((dw, db)))
@@ -253,7 +294,7 @@ impl Op {
                 }
                 (
                     vec![Tensor::from_vec(dx, [batch, tokens * dim])],
-                    Some((Tensor::from_slice(&dgamma), Tensor::from_slice(&dbeta))),
+                    want_params.then(|| (Tensor::from_slice(&dgamma), Tensor::from_slice(&dbeta))),
                 )
             }
             Op::Attention {

@@ -1,9 +1,24 @@
 //! Graph execution: batched forward, reverse-mode backward, and the
 //! forward-mode input Jacobian (the paper's product weight matrix Â).
+//!
+//! Two families of entry points coexist:
+//!
+//! - **Planned** (`*_into`): execute through a compiled [`ExecPlan`] into a
+//!   caller-owned [`Workspace`], reusing every per-node buffer across calls.
+//!   These are what the attack's query loops use.
+//! - **Legacy** ([`Graph::forward`], [`Graph::logits`], …): allocate a fresh
+//!   workspace per call and return owned [`Activations`]. They are thin
+//!   wrappers over the planned path and remain the convenient API for
+//!   one-shot evaluation.
+//!
+//! The original direct implementations survive as `*_reference` (hidden):
+//! they are the oracle the planned path is property-tested **bit-identical**
+//! against, and what the benchmarks compare to.
 
 use crate::graph::{Graph, NodeId};
 use crate::key::KeyAssignment;
 use crate::op::{Op, Saved};
+use crate::plan::{EffWeight, Workspace};
 use relock_tensor::Tensor;
 
 /// All per-node values and saved contexts from one forward pass.
@@ -19,9 +34,16 @@ impl Activations {
     ///
     /// # Panics
     ///
-    /// Panics if the ID is out of range.
+    /// Panics, naming the node index and the graph size, if the ID is out
+    /// of range.
     pub fn value(&self, id: NodeId) -> &Tensor {
-        &self.values[id.index()]
+        match self.values.get(id.index()) {
+            Some(v) => v,
+            None => panic!(
+                "node {id} out of range for activations of a graph with {} nodes",
+                self.values.len()
+            ),
+        }
     }
 
     /// Batch size of this pass.
@@ -33,18 +55,34 @@ impl Activations {
     ///
     /// # Panics
     ///
-    /// Panics if the ID is out of range.
+    /// Panics, naming the node index and the graph size, if the ID is out
+    /// of range.
     pub fn saved_of(&self, id: NodeId) -> &Saved {
-        &self.saved[id.index()]
+        match self.saved.get(id.index()) {
+            Some(s) => s,
+            None => panic!(
+                "node {id} out of range for activations of a graph with {} nodes",
+                self.saved.len()
+            ),
+        }
     }
 
     /// Scalar value of element `e` of a node for sample `s`.
     ///
     /// # Panics
     ///
-    /// Panics if any index is out of range.
+    /// Panics, naming the offending indices, the node's shape, and the
+    /// graph size, if anything is out of range.
     pub fn scalar(&self, id: NodeId, s: usize, e: usize) -> f64 {
-        self.values[id.index()].get2(s, e)
+        let v = self.value(id);
+        let d = v.dims();
+        assert!(
+            v.rank() == 2 && s < d[0] && e < d[1],
+            "scalar({id}, sample {s}, element {e}) out of bounds for node \
+             value of shape {d:?} in a graph with {} nodes",
+            self.values.len()
+        );
+        v.get2(s, e)
     }
 }
 
@@ -72,15 +110,260 @@ impl Gradients {
     }
 }
 
+/// Moves a workspace's buffers out into legacy [`Activations`], restoring
+/// the legacy placeholder convention (`Tensor::zeros([0])`) for nodes the
+/// pass skipped.
+fn into_activations(ws: Workspace, n: usize) -> Activations {
+    let Workspace {
+        mut values,
+        mut saved,
+        live,
+        batch,
+        ..
+    } = ws;
+    values.truncate(n);
+    saved.truncate(n);
+    for (i, &l) in live.iter().enumerate().take(n) {
+        if !l {
+            values[i] = Tensor::zeros([0]);
+            saved[i] = Saved::None;
+        }
+    }
+    Activations {
+        values,
+        saved,
+        batch,
+    }
+}
+
+/// Returns the workspace-cached **transposed** effective weight of a
+/// `Linear` node, rebuilding it only when the weights — or, for layers
+/// with §3.9(b) weight locks, the key assignment — changed since it was
+/// materialized. Unlocked layers keep one transpose for the lifetime of
+/// the weights, however often the keys move (the learning attack mutates
+/// keys every step).
+fn cached_eff_weight<'a>(
+    slot: &'a mut Option<EffWeight>,
+    op: &Op,
+    keys: &KeyAssignment,
+    weights_gen: u64,
+) -> &'a Tensor {
+    let key_dependent = matches!(op, Op::Linear { weight_locks, .. } if !weight_locks.is_empty());
+    let keys_gen = keys.generation();
+    let valid = matches!(slot, Some(e) if e.weights_gen == weights_gen
+        && (!key_dependent || e.keys_gen == keys_gen));
+    if !valid {
+        *slot = Some(EffWeight {
+            weights_gen,
+            keys_gen,
+            wt: crate::forward::effective_linear_weight(op, keys).transpose(),
+        });
+    }
+    &slot.as_ref().expect("just filled").wt
+}
+
 impl Graph {
+    /// Planned forward pass of the whole graph into a reusable workspace.
+    ///
+    /// `x` is `(batch, P)`; pass a rank-1 tensor for a single sample. Read
+    /// results back through [`Workspace::value`] and friends. Bit-identical
+    /// to the legacy [`Graph::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the graph.
+    pub fn forward_into(&self, ws: &mut Workspace, x: &Tensor, keys: &KeyAssignment) {
+        self.run_planned(ws, x, keys, None)
+    }
+
+    /// Planned forward pass computing **only the ancestors of `target`**
+    /// (inclusive); the workspace's other nodes stay non-live.
+    ///
+    /// This is the attack's workhorse: critical-point search (paper §3.5)
+    /// evaluates one pre-activation thousands of times and must pay neither
+    /// for the layers above it nor for re-allocating buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the graph.
+    pub fn forward_partial_into(
+        &self,
+        ws: &mut Workspace,
+        x: &Tensor,
+        keys: &KeyAssignment,
+        target: NodeId,
+    ) {
+        self.run_planned(ws, x, keys, Some(target))
+    }
+
+    fn run_planned(
+        &self,
+        ws: &mut Workspace,
+        x: &Tensor,
+        keys: &KeyAssignment,
+        target: Option<NodeId>,
+    ) {
+        let (batch, width) = if x.rank() == 1 {
+            (1, x.numel())
+        } else {
+            assert_eq!(x.rank(), 2, "graph input must be rank 1 or 2");
+            (x.dims()[0], x.dims()[1])
+        };
+        assert_eq!(
+            width,
+            self.input_size(),
+            "input width {} != graph input {}",
+            width,
+            self.input_size()
+        );
+        let plan = self.plan();
+        let n = self.nodes.len();
+        ws.ensure(n);
+        ws.batch = batch;
+        ws.passes += 1;
+        let limit = target.map_or(n - 1, |t| t.index());
+        let weights_gen = self.weights_gen;
+        let Workspace {
+            values,
+            saved,
+            live,
+            eff_weights,
+            ..
+        } = &mut *ws;
+        for flag in live.iter_mut() {
+            *flag = false;
+        }
+        for idx in 0..=limit {
+            if let Some(t) = target {
+                if !plan.is_ancestor(NodeId(idx), t) {
+                    continue;
+                }
+            }
+            let node = &self.nodes[idx];
+            // Node inputs precede the node in topological order, so the
+            // output buffer and the input buffers never alias.
+            let (done, rest) = values.split_at_mut(idx);
+            let out = &mut rest[0];
+            if matches!(node.op, Op::Input { .. }) {
+                out.reset_shape([batch, width]);
+                out.as_mut_slice().copy_from_slice(x.as_slice());
+                saved[idx] = Saved::None;
+                live[idx] = true;
+                continue;
+            }
+            let w_eff = match &node.op {
+                Op::Linear { .. } => Some(cached_eff_weight(
+                    &mut eff_weights[idx],
+                    &node.op,
+                    keys,
+                    weights_gen,
+                )),
+                _ => None,
+            };
+            let sv = &mut saved[idx];
+            let run = |inputs: &[&Tensor], out: &mut Tensor, sv: &mut Saved| {
+                if !node.op.forward_batch_into(inputs, keys, w_eff, out, sv) {
+                    let (v, s) = node.op.forward_batch(inputs, keys);
+                    *out = v;
+                    *sv = s;
+                }
+            };
+            match *node.inputs.as_slice() {
+                [a] => run(&[&done[a.0]], out, sv),
+                [a, b] => run(&[&done[a.0], &done[b.0]], out, sv),
+                [a, b, c] => run(&[&done[a.0], &done[b.0], &done[c.0]], out, sv),
+                _ => {
+                    let refs: Vec<&Tensor> = node.inputs.iter().map(|i| &done[i.0]).collect();
+                    run(&refs, out, sv)
+                }
+            }
+            live[idx] = true;
+        }
+    }
+
+    /// Planned single-node evaluation: runs a partial pass to `target` and
+    /// returns a borrow of its `(batch, size)` value inside the workspace.
+    pub fn eval_node_into<'w>(
+        &self,
+        ws: &'w mut Workspace,
+        x: &Tensor,
+        keys: &KeyAssignment,
+        target: NodeId,
+    ) -> &'w Tensor {
+        self.forward_partial_into(ws, x, keys, target);
+        ws.value(target)
+    }
+
+    /// Planned batched logits: runs a partial pass to the output node and
+    /// returns a borrow of the `(batch, Q)` logits inside the workspace.
+    pub fn logits_batch_into<'w>(
+        &self,
+        ws: &'w mut Workspace,
+        x: &Tensor,
+        keys: &KeyAssignment,
+    ) -> &'w Tensor {
+        self.forward_partial_into(ws, x, keys, self.output);
+        ws.value(self.output)
+    }
+
     /// Runs a batched forward pass.
     ///
     /// `x` is `(batch, P)`; pass a rank-1 tensor for a single sample.
+    /// Allocates a fresh workspace per call; loops should use
+    /// [`Graph::forward_into`] instead.
     ///
     /// # Panics
     ///
     /// Panics if the input width does not match the graph.
     pub fn forward(&self, x: &Tensor, keys: &KeyAssignment) -> Activations {
+        let mut ws = Workspace::new();
+        self.forward_into(&mut ws, x, keys);
+        into_activations(ws, self.nodes.len())
+    }
+
+    /// Runs a forward pass computing **only the ancestors of `target`**
+    /// (inclusive). Non-ancestor nodes get empty placeholder values; only
+    /// touch nodes in `target`'s ancestor set on the returned activations.
+    ///
+    /// Allocates a fresh workspace per call; loops should use
+    /// [`Graph::forward_partial_into`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the graph.
+    pub fn forward_partial(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Activations {
+        let mut ws = Workspace::new();
+        self.forward_partial_into(&mut ws, x, keys, target);
+        into_activations(ws, self.nodes.len())
+    }
+
+    /// Evaluates only `target` (and its ancestors), returning its
+    /// `(batch, size)` value. See [`Graph::forward_partial`].
+    pub fn eval_node(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Tensor {
+        let mut ws = Workspace::new();
+        self.eval_node_into(&mut ws, x, keys, target).clone()
+    }
+
+    /// Convenience: logits of a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a vector of the graph's input width.
+    pub fn logits(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
+        let mut ws = Workspace::new();
+        Tensor::from_slice(self.logits_batch_into(&mut ws, x, keys).row(0))
+    }
+
+    /// Convenience: batched logits, `(batch, Q)`.
+    pub fn logits_batch(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
+        let mut ws = Workspace::new();
+        self.logits_batch_into(&mut ws, x, keys).clone()
+    }
+
+    /// The original direct forward implementation, kept as the oracle the
+    /// planned path is property-tested bit-identical against.
+    #[doc(hidden)]
+    pub fn forward_reference(&self, x: &Tensor, keys: &KeyAssignment) -> Activations {
         let x = if x.rank() == 1 {
             x.reshape([1, x.numel()])
         } else {
@@ -115,18 +398,15 @@ impl Graph {
         }
     }
 
-    /// Runs a forward pass computing **only the ancestors of `target`**
-    /// (inclusive). Non-ancestor nodes get empty placeholder values; only
-    /// touch nodes in `target`'s ancestor set on the returned activations.
-    ///
-    /// This is the attack's workhorse: critical-point search (paper §3.5)
-    /// evaluates one pre-activation thousands of times and must not pay for
-    /// the layers above it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the input width does not match the graph.
-    pub fn forward_partial(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Activations {
+    /// The original direct partial-forward implementation; see
+    /// [`Graph::forward_reference`].
+    #[doc(hidden)]
+    pub fn forward_partial_reference(
+        &self,
+        x: &Tensor,
+        keys: &KeyAssignment,
+        target: NodeId,
+    ) -> Activations {
         let x = if x.rank() == 1 {
             x.reshape([1, x.numel()])
         } else {
@@ -159,30 +439,6 @@ impl Graph {
             saved,
             batch,
         }
-    }
-
-    /// Evaluates only `target` (and its ancestors), returning its
-    /// `(batch, size)` value. See [`Graph::forward_partial`].
-    pub fn eval_node(&self, x: &Tensor, keys: &KeyAssignment, target: NodeId) -> Tensor {
-        let acts = self.forward_partial(x, keys, target);
-        acts.values[target.index()].clone()
-    }
-
-    /// Convenience: logits of a single input vector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x` is not a vector of the graph's input width.
-    pub fn logits(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
-        let acts = self.forward(x, keys);
-        let out = acts.value(self.output_id());
-        Tensor::from_slice(out.row(0))
-    }
-
-    /// Convenience: batched logits, `(batch, Q)`.
-    pub fn logits_batch(&self, x: &Tensor, keys: &KeyAssignment) -> Tensor {
-        let acts = self.forward(x, keys);
-        acts.value(self.output_id()).clone()
     }
 
     /// Reverse-mode pass: propagates `grad_out` (`(batch, Q)`, the loss
@@ -222,14 +478,120 @@ impl Graph {
                 .iter()
                 .map(|i| &acts.values[i.index()])
                 .collect();
-            let (din, pgrad) =
-                node.op
-                    .backward_batch(&inputs, &acts.saved[idx], &g, keys, &mut key_grads);
+            let (din, pgrad) = node.op.backward_batch(
+                &inputs,
+                &acts.saved[idx],
+                &g,
+                keys,
+                &mut key_grads,
+                true,
+                true,
+            );
             params[idx] = pgrad;
             for (inp, d) in node.inputs.iter().zip(din) {
                 match &mut grads[inp.index()] {
                     Some(existing) => existing.axpy(1.0, &d),
                     slot => *slot = Some(d),
+                }
+            }
+        }
+        Gradients {
+            params,
+            keys: key_grads,
+        }
+    }
+
+    /// Planned reverse-mode pass over the workspace's latest forward pass.
+    ///
+    /// With `want_params == false` only key-multiplier gradients are
+    /// produced (`Gradients::params` is all `None`) and the expensive
+    /// weight-gradient matrices are never formed — the §3.6 learning attack
+    /// reads nothing else. Key gradients are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace's latest pass did not compute the output
+    /// node, or if `grad_out` does not match its shape.
+    pub fn backward_into(
+        &self,
+        ws: &mut Workspace,
+        grad_out: &Tensor,
+        keys: &KeyAssignment,
+        want_params: bool,
+    ) -> Gradients {
+        let n = self.nodes.len();
+        assert_eq!(
+            grad_out.dims(),
+            ws.value(self.output_id()).dims(),
+            "grad_out shape mismatch"
+        );
+        let plan = self.plan();
+        let Workspace {
+            values,
+            saved,
+            grad_buf,
+            ..
+        } = &mut *ws;
+        for g in grad_buf.iter_mut() {
+            *g = None;
+        }
+        let mut params: Vec<Option<(Tensor, Tensor)>> = vec![None; n];
+        let mut key_grads = vec![0.0f64; self.key_slots];
+        let output_idx = self.output_id().index();
+
+        for idx in (0..n).rev() {
+            // The output node's incoming gradient is the caller's tensor;
+            // inner nodes' gradients come out of the buffer. Either way the
+            // op only borrows it.
+            let taken;
+            let g: &Tensor = if idx == output_idx {
+                grad_out
+            } else {
+                match grad_buf[idx].take() {
+                    Some(t) => {
+                        taken = t;
+                        &taken
+                    }
+                    None => continue,
+                }
+            };
+            let node = &self.nodes[idx];
+            if matches!(node.op, Op::Input { .. }) {
+                continue;
+            }
+            // In keys-only mode a node with no key-dependent ancestor feeds
+            // gradients to a subgraph whose reverse pass can only produce
+            // parameter gradients nobody asked for — skip its input
+            // gradients entirely, which in turn skips every node below it.
+            let want_dx = want_params || plan.keyed_below(NodeId(idx));
+            let run = |inputs: &[&Tensor], key_grads: &mut Vec<f64>| {
+                node.op.backward_batch(
+                    inputs,
+                    &saved[idx],
+                    g,
+                    keys,
+                    key_grads,
+                    want_params,
+                    want_dx,
+                )
+            };
+            let (din, pgrad) = match *node.inputs.as_slice() {
+                [a] => run(&[&values[a.0]], &mut key_grads),
+                [a, b] => run(&[&values[a.0], &values[b.0]], &mut key_grads),
+                [a, b, c] => run(&[&values[a.0], &values[b.0], &values[c.0]], &mut key_grads),
+                _ => {
+                    let refs: Vec<&Tensor> =
+                        node.inputs.iter().map(|i| &values[i.index()]).collect();
+                    run(&refs, &mut key_grads)
+                }
+            };
+            params[idx] = pgrad;
+            if want_dx {
+                for (inp, d) in node.inputs.iter().zip(din) {
+                    match &mut grad_buf[inp.index()] {
+                        Some(existing) => existing.axpy(1.0, &d),
+                        slot => *slot = Some(d),
+                    }
                 }
             }
         }
@@ -266,9 +628,15 @@ impl Graph {
                 .iter()
                 .map(|i| &acts.values[i.index()])
                 .collect();
-            let (din, pgrad) =
-                node.op
-                    .backward_batch(&inputs, &acts.saved[idx], &g, keys, &mut key_grads);
+            let (din, pgrad) = node.op.backward_batch(
+                &inputs,
+                &acts.saved[idx],
+                &g,
+                keys,
+                &mut key_grads,
+                true,
+                true,
+            );
             params[idx] = pgrad;
             for (inp, d) in node.inputs.iter().zip(din) {
                 match &mut grads[inp.index()] {
@@ -371,6 +739,105 @@ impl Graph {
         // (P, size) → (size, P).
         bundle.transpose()
     }
+
+    /// Planned variant of [`Graph::input_jacobian`]: reads the linearization
+    /// point from the workspace's latest (single-sample) pass, resolves the
+    /// ancestor set through the compiled plan's bitsets instead of a hash
+    /// set, frees tangent bundles at their plan-computed last use, and
+    /// caches the `P × P` identity seed inside the workspace.
+    ///
+    /// Bit-identical to [`Graph::input_jacobian`] over the same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace's latest pass had batch ≠ 1 or did not
+    /// compute `target`'s ancestors.
+    pub fn input_jacobian_into(
+        &self,
+        ws: &mut Workspace,
+        target: NodeId,
+        keys: &KeyAssignment,
+    ) -> Tensor {
+        assert_eq!(ws.batch(), 1, "input_jacobian requires a single sample");
+        let p = self.input_size();
+        if target == self.input_id() {
+            return Tensor::eye(p);
+        }
+        let plan = self.plan();
+        let n = self.nodes.len();
+        let input_id = self.input_id();
+        let weights_gen = self.weights_gen;
+        let Workspace {
+            values,
+            saved,
+            eye,
+            eff_weights,
+            ..
+        } = &mut *ws;
+        // Materialize the identity seed only if some ancestor actually
+        // consumes the raw input tangent (the first-linear shortcut below
+        // bypasses it, so a plain MLP never touches it).
+        let needs_eye = self
+            .nodes
+            .iter()
+            .enumerate()
+            .take(target.index() + 1)
+            .any(|(i, node)| {
+                NodeId(i) != input_id
+                    && plan.is_ancestor(NodeId(i), target)
+                    && node.inputs.contains(&input_id)
+                    && !(matches!(node.op, Op::Linear { .. }) && node.inputs.len() == 1)
+            });
+        if needs_eye && eye.as_ref().is_none_or(|e| e.dims() != &[p, p][..]) {
+            *eye = Some(Tensor::eye(p));
+        }
+        let mut tangents: Vec<Option<Tensor>> = vec![None; n];
+        for idx in 0..=target.index() {
+            let id = NodeId(idx);
+            if id == input_id || !plan.is_ancestor(id, target) {
+                continue;
+            }
+            let node = &self.nodes[idx];
+            let is_first_linear = matches!(node.op, Op::Linear { .. })
+                && node.inputs.len() == 1
+                && node.inputs[0] == input_id;
+            let out = if is_first_linear {
+                // The cached transposed effective weight IS the bundle
+                // `W_effᵀ` — one memcpy instead of materialize + transpose.
+                cached_eff_weight(&mut eff_weights[idx], &node.op, keys, weights_gen).clone()
+            } else {
+                let in_values: Vec<&Tensor> =
+                    node.inputs.iter().map(|i| &values[i.index()]).collect();
+                let in_tangents: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|i| {
+                        if *i == input_id {
+                            eye.as_ref().expect("input tangent seed")
+                        } else {
+                            tangents[i.index()]
+                                .as_ref()
+                                .expect("tangent freed before use")
+                        }
+                    })
+                    .collect();
+                node.op.jvp(&in_values, &saved[idx], &in_tangents, keys)
+            };
+            // Liveness: once the schedule passes a node's last consumer, its
+            // tangent bundle is dead.
+            for inp in &node.inputs {
+                if *inp != input_id && plan.last_use(*inp) <= idx {
+                    tangents[inp.index()] = None;
+                }
+            }
+            tangents[idx] = Some(out);
+        }
+        tangents[target.index()]
+            .take()
+            .expect("target tangent")
+            // (P, size) → (size, P).
+            .transpose()
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +900,65 @@ mod tests {
                 "sample {s}"
             );
         }
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_reference() {
+        let (g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(21);
+        let mut ws = Workspace::new();
+        for batch in [1usize, 2, 5, 7] {
+            let x = rng.normal_tensor([batch, 4]);
+            let reference = g.forward_reference(&x, &keys);
+            g.forward_into(&mut ws, &x, &keys);
+            for id in (0..g.nodes().len()).map(NodeId) {
+                let (a, b) = (reference.value(id), ws.value(id));
+                assert_eq!(a.dims(), b.dims(), "node {id} shape");
+                let same = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "node {id} bits differ at batch {batch}");
+            }
+        }
+        assert_eq!(ws.passes(), 4, "one pass per batch size");
+    }
+
+    #[test]
+    fn workspace_reports_missing_nodes_with_context() {
+        let (g, keys) = toy_graph();
+        let mut ws = Workspace::new();
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // Partial pass to node 1: node 3 stays non-live.
+        g.forward_partial_into(&mut ws, &x, &keys, NodeId(1));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = ws.value(NodeId(3));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("n3") && msg.contains("5 nodes"), "got: {msg}");
+    }
+
+    #[test]
+    fn activations_panics_name_node_and_graph_size() {
+        let (g, keys) = toy_graph();
+        let acts = g.forward(&Tensor::from_slice(&[0.5, -0.5, 1.0, 2.0]), &keys);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = acts.value(NodeId(17));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("n17") && msg.contains("5 nodes"), "got: {msg}");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = acts.scalar(NodeId(1), 3, 0);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("sample 3") && msg.contains("5 nodes"),
+            "got: {msg}"
+        );
     }
 
     #[test]
@@ -504,6 +1030,52 @@ mod tests {
     }
 
     #[test]
+    fn planned_backward_matches_legacy_bitwise() {
+        let (g, _) = toy_graph();
+        let keys = KeyAssignment::from_values(vec![0.3, -0.7]);
+        let mut rng = Prng::seed_from_u64(33);
+        let x = rng.normal_tensor([3, 4]);
+        let ones = Tensor::ones([3, 3]);
+        let acts = g.forward_reference(&x, &keys);
+        let legacy = g.backward(&acts, &ones, &keys);
+
+        let mut ws = Workspace::new();
+        g.forward_into(&mut ws, &x, &keys);
+        let full = g.backward_into(&mut ws, &ones, &keys, true);
+        for (slot, (a, b)) in legacy.keys.iter().zip(&full.keys).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "key grad {slot}");
+        }
+        for (idx, (a, b)) in legacy.params.iter().zip(&full.params).enumerate() {
+            match (a, b) {
+                (None, None) => {}
+                (Some((aw, ab)), Some((bw, bb))) => {
+                    assert!(
+                        aw.as_slice()
+                            .iter()
+                            .zip(bw.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "weight grad {idx}"
+                    );
+                    assert!(
+                        ab.as_slice()
+                            .iter()
+                            .zip(bb.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "bias grad {idx}"
+                    );
+                }
+                _ => panic!("param grad presence mismatch at node {idx}"),
+            }
+        }
+        // Keys-only mode: identical key grads, no param grads formed.
+        let keys_only = g.backward_into(&mut ws, &ones, &keys, false);
+        for (slot, (a, b)) in legacy.keys.iter().zip(&keys_only.keys).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "keys-only key grad {slot}");
+        }
+        assert!(keys_only.params.iter().all(|p| p.is_none()));
+    }
+
+    #[test]
     fn input_jacobian_matches_finite_differences() {
         let (g, keys) = toy_graph();
         let mut rng = Prng::seed_from_u64(11);
@@ -532,6 +1104,29 @@ mod tests {
     }
 
     #[test]
+    fn planned_jacobian_matches_legacy_bitwise() {
+        let (g, keys) = toy_graph();
+        let mut rng = Prng::seed_from_u64(44);
+        let x = rng.normal_tensor([4]);
+        let acts = g.forward_reference(&x, &keys);
+        let mut ws = Workspace::new();
+        g.forward_into(&mut ws, &x, &keys);
+        for target in (0..g.nodes().len()).map(NodeId) {
+            let legacy = g.input_jacobian(&acts, target, &keys);
+            let planned = g.input_jacobian_into(&mut ws, target, &keys);
+            assert_eq!(legacy.dims(), planned.dims(), "target {target}");
+            assert!(
+                legacy
+                    .as_slice()
+                    .iter()
+                    .zip(planned.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "target {target} bits differ"
+            );
+        }
+    }
+
+    #[test]
     fn jacobian_of_intermediate_node_has_right_shape() {
         let (g, keys) = toy_graph();
         let mut rng = Prng::seed_from_u64(12);
@@ -546,5 +1141,43 @@ mod tests {
         } else {
             panic!("node 1 should be linear");
         }
+    }
+
+    #[test]
+    fn effective_weight_cache_invalidates_on_key_and_weight_mutation() {
+        use crate::op::WeightLock;
+        // A 1-layer graph with a §3.9(b) weight lock so the cache engages.
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        let lin = gb
+            .add(
+                Op::Linear {
+                    w: Tensor::from_rows(&[&[2.0, 1.0]]),
+                    b: Tensor::zeros([1]),
+                    weight_locks: vec![WeightLock {
+                        row: 0,
+                        col: 0,
+                        slot: KeySlot(0),
+                    }],
+                },
+                &[x],
+            )
+            .unwrap();
+        let mut g = gb.build(lin).unwrap();
+        let mut keys = KeyAssignment::from_bits(&[false]);
+        let xin = Tensor::from_slice(&[1.0, 0.0]);
+        let mut ws = Workspace::new();
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), 2.0);
+        // Same keys: cache hit must still be correct.
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), 2.0);
+        // Key flip invalidates.
+        keys.set_bit(KeySlot(0), true);
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), -2.0);
+        // Weight mutation invalidates.
+        {
+            let (w, _) = g.params_mut(NodeId(1)).unwrap();
+            w.set2(0, 0, 5.0);
+        }
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), -5.0);
     }
 }

@@ -4,6 +4,7 @@ use crate::key::KeyAssignment;
 use crate::op::{Op, Saved};
 use relock_tensor::im2col::im2col;
 use relock_tensor::Tensor;
+use std::borrow::Cow;
 
 /// Adds a bias vector to every row of a `(B, out)` matrix, in place.
 pub(crate) fn add_bias_rows(y: &mut Tensor, b: &Tensor) {
@@ -18,22 +19,26 @@ pub(crate) fn add_bias_rows(y: &mut Tensor, b: &Tensor) {
     }
 }
 
-/// Materializes the effective weight matrix of a `Linear` op with its
-/// §3.9(b) weight locks applied under the given key assignment.
-pub(crate) fn effective_linear_weight(op: &Op, keys: &KeyAssignment) -> Tensor {
+/// The effective weight matrix of a `Linear` op with its §3.9(b) weight
+/// locks applied under the given key assignment.
+///
+/// The overwhelmingly common case — a `Linear` with no weight locks (HPNN
+/// locks pre-activations, not weights) — borrows the stored matrix instead
+/// of cloning it, so only genuinely locked layers pay for materialization.
+pub(crate) fn effective_linear_weight<'a>(op: &'a Op, keys: &KeyAssignment) -> Cow<'a, Tensor> {
     match op {
         Op::Linear {
             w, weight_locks, ..
         } => {
             if weight_locks.is_empty() {
-                return w.clone();
+                return Cow::Borrowed(w);
             }
             let mut eff = w.clone();
             for l in weight_locks {
                 let v = eff.get2(l.row, l.col) * keys.multiplier(l.slot);
                 eff.set2(l.row, l.col, v);
             }
-            eff
+            Cow::Owned(eff)
         }
         _ => unreachable!("effective_linear_weight on non-linear op"),
     }
@@ -361,6 +366,195 @@ impl Op {
                 }
                 (Tensor::from_vec(out, [batch, *dim]), Saved::None)
             }
+        }
+    }
+
+    /// Allocation-free variant of [`Op::forward_batch`] for the hot
+    /// operators: writes the result into `out` (and reuses `saved`'s
+    /// buffers) instead of allocating fresh tensors. Returns `false` when
+    /// the operator has no in-place path, in which case the caller falls
+    /// back to [`Op::forward_batch`].
+    ///
+    /// `w_eff` optionally supplies the pre-materialized **transposed**
+    /// effective weight for `Linear` (the workspace caches one per linear
+    /// layer); when absent it is materialized on the spot.
+    ///
+    /// Results are **bit-identical** to [`Op::forward_batch`]: per output
+    /// element the same operations run in the same order, only the
+    /// destination buffers differ.
+    pub(crate) fn forward_batch_into(
+        &self,
+        inputs: &[&Tensor],
+        keys: &KeyAssignment,
+        w_eff: Option<&Tensor>,
+        out: &mut Tensor,
+        saved: &mut Saved,
+    ) -> bool {
+        match self {
+            Op::Linear { b, .. } => {
+                let x = inputs[0];
+                // `w_eff` is the workspace-cached *transposed* effective
+                // weight, so the product runs in `A · B` form — same
+                // ascending-`k` fold per element as `x · Wᵀ` (bit-identical),
+                // but the inner loop vectorizes across output columns.
+                match w_eff {
+                    Some(wt) => x.matmul_into(wt, out),
+                    None => x.matmul_into(&effective_linear_weight(self, keys).transpose(), out),
+                }
+                add_bias_rows(out, b);
+                *saved = Saved::None;
+                true
+            }
+            Op::Relu => {
+                let x = inputs[0];
+                let (batch, size) = (x.dims()[0], x.dims()[1]);
+                out.reset_shape([batch, size]);
+                if !matches!(saved, Saved::Mask(_)) {
+                    *saved = Saved::Mask(Tensor::zeros([0]));
+                }
+                let Saved::Mask(mask) = saved else {
+                    unreachable!()
+                };
+                mask.reset_shape([batch, size]);
+                for ((o, m), &v) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(mask.as_mut_slice())
+                    .zip(x.as_slice())
+                {
+                    let mk = if v > 0.0 { 1.0 } else { 0.0 };
+                    *m = mk;
+                    *o = v * mk;
+                }
+                true
+            }
+            Op::KeyedSign { layout, slots } => {
+                let x = inputs[0];
+                let (batch, size) = (x.dims()[0], x.dims()[1]);
+                out.reset_shape([batch, size]);
+                let data = out.as_mut_slice();
+                data.copy_from_slice(x.as_slice());
+                for (u, slot) in slots.iter().enumerate() {
+                    let Some(slot) = slot else { continue };
+                    let m = keys.multiplier(*slot);
+                    for e in layout.unit_elements(u) {
+                        for s in 0..batch {
+                            data[s * size + e] *= m;
+                        }
+                    }
+                }
+                *saved = Saved::None;
+                true
+            }
+            Op::KeyedScale {
+                layout,
+                slots,
+                factor,
+            } => {
+                let x = inputs[0];
+                let (batch, size) = (x.dims()[0], x.dims()[1]);
+                out.reset_shape([batch, size]);
+                let data = out.as_mut_slice();
+                data.copy_from_slice(x.as_slice());
+                for (u, slot) in slots.iter().enumerate() {
+                    let Some(slot) = slot else { continue };
+                    let g = scale_multiplier(keys.multiplier(*slot), *factor);
+                    for e in layout.unit_elements(u) {
+                        for s in 0..batch {
+                            data[s * size + e] *= g;
+                        }
+                    }
+                }
+                *saved = Saved::None;
+                true
+            }
+            Op::Add => {
+                let (a, b) = (inputs[0], inputs[1]);
+                out.reset_shape([a.dims()[0], a.dims()[1]]);
+                for ((o, &x1), &x2) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(a.as_slice())
+                    .zip(b.as_slice())
+                {
+                    *o = x1 + x2;
+                }
+                *saved = Saved::None;
+                true
+            }
+            Op::MaxPool2d {
+                channels,
+                in_h,
+                in_w,
+                k,
+                stride,
+            } => {
+                let x = inputs[0];
+                let batch = x.dims()[0];
+                let oh = (in_h - k) / stride + 1;
+                let ow = (in_w - k) / stride + 1;
+                let out_size = channels * oh * ow;
+                out.reset_shape([batch, out_size]);
+                if !matches!(saved, Saved::ArgMax(_)) {
+                    *saved = Saved::ArgMax(Vec::new());
+                }
+                let Saved::ArgMax(arg) = saved else {
+                    unreachable!()
+                };
+                arg.clear();
+                arg.resize(batch * out_size, 0);
+                let os = out.as_mut_slice();
+                for s in 0..batch {
+                    let row = x.row(s);
+                    for c in 0..*channels {
+                        let cbase = c * in_h * in_w;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = f64::NEG_INFINITY;
+                                let mut best_i = 0usize;
+                                for ky in 0..*k {
+                                    for kx in 0..*k {
+                                        let iy = oy * stride + ky;
+                                        let ix = ox * stride + kx;
+                                        let idx = cbase + iy * in_w + ix;
+                                        if row[idx] > best {
+                                            best = row[idx];
+                                            best_i = idx;
+                                        }
+                                    }
+                                }
+                                let o = c * oh * ow + oy * ow + ox;
+                                os[s * out_size + o] = best;
+                                arg[s * out_size + o] = best_i;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+            Op::MeanTokens { tokens, dim } => {
+                let x = inputs[0];
+                let batch = x.dims()[0];
+                out.reset_shape([batch, *dim]);
+                let os = out.as_mut_slice();
+                os.fill(0.0);
+                let inv = 1.0 / *tokens as f64;
+                for s in 0..batch {
+                    let row = x.row(s);
+                    let orow = &mut os[s * dim..(s + 1) * dim];
+                    for t in 0..*tokens {
+                        for d in 0..*dim {
+                            orow[d] += row[t * dim + d] * inv;
+                        }
+                    }
+                }
+                *saved = Saved::None;
+                true
+            }
+            // Long-tail ops (convolution, attention, layer norm, …) keep
+            // their allocating path; they dominate their own runtime, so
+            // buffer reuse buys nothing measurable there.
+            _ => false,
         }
     }
 }

@@ -2,8 +2,10 @@
 
 use crate::key::{KeySlot, UnitLayout};
 use crate::op::Op;
+use crate::plan::ExecPlan;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a node within a [`Graph`]. Nodes are stored in topological
 /// order, so `NodeId` values are also a valid evaluation order.
@@ -114,9 +116,26 @@ pub struct Graph {
     pub(crate) input: NodeId,
     pub(crate) output: NodeId,
     pub(crate) key_slots: usize,
+    /// Parameter mutation stamp, bumped by [`Graph::params_mut`]; caches of
+    /// weight-derived data key on it (see [`crate::Workspace`]).
+    pub(crate) weights_gen: u64,
+    /// Lazily compiled execution plan. Depends only on structure, which is
+    /// immutable after build, so it is computed at most once per graph.
+    pub(crate) plan: OnceLock<ExecPlan>,
 }
 
 impl Graph {
+    /// The graph's compiled [`ExecPlan`], built on first use and cached.
+    pub fn plan(&self) -> &ExecPlan {
+        self.plan.get_or_init(|| ExecPlan::compile(self))
+    }
+
+    /// The parameter mutation stamp: refreshed on every [`Graph::params_mut`]
+    /// call, so equal stamps guarantee unchanged parameters.
+    pub fn weights_generation(&self) -> u64 {
+        self.weights_gen
+    }
+
     /// All nodes in topological order.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
@@ -157,10 +176,15 @@ impl Graph {
     }
 
     /// Mutable access to a node's `(weight, bias)` parameters, if it has any.
+    ///
+    /// Conservatively counts as a parameter mutation: the
+    /// [`weights_generation`](Self::weights_generation) stamp is refreshed
+    /// even if the caller never writes through the returned references.
     pub fn params_mut(
         &mut self,
         id: NodeId,
     ) -> Option<(&mut relock_tensor::Tensor, &mut relock_tensor::Tensor)> {
+        self.weights_gen = crate::key::next_generation();
         self.nodes[id.0].op.params_mut()
     }
 
@@ -336,6 +360,8 @@ impl GraphBuilder {
             input,
             output,
             key_slots,
+            weights_gen: crate::key::next_generation(),
+            plan: OnceLock::new(),
         })
     }
 }

@@ -11,6 +11,15 @@
 //! attack (§3.6) trains over. Discrete evaluation simply assigns ±1.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter behind [`KeyAssignment::generation`]. Starts at 1 so
+/// that 0 can serve as a "never seen" sentinel in caches.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of one key bit within a graph's key vector.
 ///
@@ -40,9 +49,24 @@ impl fmt::Display for KeySlot {
 /// Use [`KeyAssignment::from_bits`] for a discrete key and
 /// [`KeyAssignment::neutral`] for the all-zero (uninformative) relaxation
 /// starting point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KeyAssignment {
     values: Vec<f64>,
+    /// Monotone mutation stamp: refreshed from a process-wide counter on
+    /// construction and on every mutation, so cached derived data (e.g. a
+    /// [`Workspace`](crate::Workspace)'s effective locked weights) can be
+    /// invalidated by comparing one `u64` instead of the whole vector.
+    generation: u64,
+}
+
+/// Equality is over the multiplier values only; the [`generation`] stamp is
+/// a cache token, not part of the assignment's identity.
+///
+/// [`generation`]: KeyAssignment::generation
+impl PartialEq for KeyAssignment {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
 }
 
 impl KeyAssignment {
@@ -50,6 +74,7 @@ impl KeyAssignment {
     pub fn all_zero_bits(n: usize) -> Self {
         KeyAssignment {
             values: vec![1.0; n],
+            generation: next_generation(),
         }
     }
 
@@ -58,6 +83,7 @@ impl KeyAssignment {
     pub fn neutral(n: usize) -> Self {
         KeyAssignment {
             values: vec![0.0; n],
+            generation: next_generation(),
         }
     }
 
@@ -65,12 +91,24 @@ impl KeyAssignment {
     pub fn from_bits(bits: &[bool]) -> Self {
         KeyAssignment {
             values: bits.iter().map(|&b| if b { -1.0 } else { 1.0 }).collect(),
+            generation: next_generation(),
         }
     }
 
     /// Builds an assignment from raw multipliers.
     pub fn from_values(values: Vec<f64>) -> Self {
-        KeyAssignment { values }
+        KeyAssignment {
+            values,
+            generation: next_generation(),
+        }
+    }
+
+    /// The assignment's mutation stamp: distinct assignments (and the same
+    /// assignment before/after a mutation) carry distinct stamps, while a
+    /// `clone` keeps its parent's stamp. Two assignments with equal stamps
+    /// are guaranteed to hold equal values.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of slots.
@@ -99,6 +137,7 @@ impl KeyAssignment {
     /// Panics if the slot is out of range.
     pub fn set(&mut self, slot: KeySlot, m: f64) {
         self.values[slot.0] = m;
+        self.generation = next_generation();
     }
 
     /// Sets a slot from a discrete bit.
@@ -108,6 +147,7 @@ impl KeyAssignment {
     /// Panics if the slot is out of range.
     pub fn set_bit(&mut self, slot: KeySlot, bit: bool) {
         self.values[slot.0] = if bit { -1.0 } else { 1.0 };
+        self.generation = next_generation();
     }
 
     /// Rounds every multiplier to a discrete bit: negative → 1, else → 0.
@@ -120,8 +160,11 @@ impl KeyAssignment {
         &self.values
     }
 
-    /// The raw multipliers, mutable.
+    /// The raw multipliers, mutable. Conservatively counts as a mutation:
+    /// the [`generation`](Self::generation) stamp is refreshed even if the
+    /// caller never writes through the returned slice.
     pub fn values_mut(&mut self) -> &mut [f64] {
+        self.generation = next_generation();
         &mut self.values
     }
 }
@@ -261,5 +304,26 @@ mod tests {
     fn neutral_assignment_rounds_to_zero_bits() {
         let ka = KeyAssignment::neutral(4);
         assert_eq!(ka.to_bits(), vec![false; 4]);
+    }
+
+    #[test]
+    fn generation_tracks_mutations_not_clones() {
+        let mut ka = KeyAssignment::from_bits(&[true, false]);
+        let g0 = ka.generation();
+        let clone = ka.clone();
+        assert_eq!(clone.generation(), g0, "clone keeps its parent's stamp");
+        ka.set_bit(KeySlot(1), true);
+        assert_ne!(ka.generation(), g0, "set_bit refreshes the stamp");
+        let g1 = ka.generation();
+        ka.set(KeySlot(0), 0.25);
+        assert_ne!(ka.generation(), g1);
+        let g2 = ka.generation();
+        let _ = ka.values_mut();
+        assert_ne!(ka.generation(), g2, "values_mut is a conservative bump");
+        // Equality ignores the stamp.
+        let a = KeyAssignment::from_bits(&[true]);
+        let b = KeyAssignment::from_bits(&[true]);
+        assert_ne!(a.generation(), b.generation());
+        assert_eq!(a, b);
     }
 }

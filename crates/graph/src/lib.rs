@@ -15,7 +15,13 @@
 //!   product weight matrix `Â` of Formulas 2–4 — used by the algebraic key
 //!   inference of §3.3;
 //! - HPNN lock operators ([`Op::KeyedSign`], paper Eq. 1) plus the §3.9
-//!   variants ([`Op::KeyedScale`], weight-element locks on [`Op::Linear`]).
+//!   variants ([`Op::KeyedScale`], weight-element locks on [`Op::Linear`]);
+//! - a **planned execution engine**: [`Graph::plan`] compiles the topology
+//!   once ([`ExecPlan`]: schedule, shapes, ancestor bitsets, liveness) and
+//!   the `*_into` entry points ([`Graph::forward_into`],
+//!   [`Graph::logits_batch_into`], [`Graph::input_jacobian_into`], …) run
+//!   passes through a reusable [`Workspace`], which is what makes the
+//!   attack's million-query loops allocation-free.
 //!
 //! Keys are always *continuous multipliers* `m ∈ [−1, 1]` with `+1 ⇔ bit 0`
 //! and `−1 ⇔ bit 1`; discrete evaluation just assigns ±1 (see
@@ -51,10 +57,12 @@ mod graph;
 mod jvp;
 mod key;
 mod op;
+mod plan;
 mod serial;
 
 pub use exec::{Activations, Gradients};
 pub use graph::{Graph, GraphBuilder, GraphError, LockSite, Node, NodeId};
 pub use key::{KeyAssignment, KeySlot, UnitLayout};
 pub use op::{Op, Saved, WeightLock};
+pub use plan::{ExecPlan, Workspace};
 pub use serial::SerialError;

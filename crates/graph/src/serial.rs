@@ -461,6 +461,8 @@ impl Graph {
             input,
             output,
             key_slots,
+            weights_gen: crate::key::next_generation(),
+            plan: std::sync::OnceLock::new(),
         })
     }
 }

@@ -7,11 +7,12 @@
 //! query-complexity column of Table 1.
 
 use crate::key::Key;
-use relock_graph::{Graph, KeyAssignment, SerialError};
+use relock_graph::{Graph, KeyAssignment, SerialError, Workspace};
 use relock_tensor::Tensor;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Failures of the fallible oracle surface.
@@ -117,6 +118,13 @@ impl LockedModel {
     /// weights, but no key.
     pub fn white_box(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The compiled execution plan of the model's graph (schedule, shapes,
+    /// ancestor bitsets). Compiled on first use and cached; plan statistics
+    /// (node count, per-node output sizes) are what harnesses report.
+    pub fn plan(&self) -> &relock_graph::ExecPlan {
+        self.graph.plan()
     }
 
     /// Mutable graph access (used by the trainer).
@@ -288,12 +296,19 @@ impl<O: Oracle + ?Sized> Oracle for &O {
 
 /// The standard oracle: a [`LockedModel`] evaluated under its true key,
 /// with an atomic query counter.
+///
+/// Evaluation runs through the graph's planned engine: each query checks a
+/// [`Workspace`] out of an internal pool, so the per-node buffers of the
+/// forward pass are reused across the attack's hundreds of thousands of
+/// queries instead of reallocated. The pool grows to the peak number of
+/// concurrently querying threads and no further.
 #[derive(Debug)]
 pub struct CountingOracle {
     graph: Graph,
     keys: KeyAssignment,
     mode: OutputMode,
     counter: AtomicU64,
+    pool: Mutex<Vec<Workspace>>,
 }
 
 impl CountingOracle {
@@ -304,6 +319,7 @@ impl CountingOracle {
             keys: model.true_key().to_assignment(),
             mode: OutputMode::Logits,
             counter: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -339,14 +355,36 @@ impl CountingOracle {
     pub fn add_queries(&self, rows: u64) {
         self.counter.fetch_add(rows, Ordering::Relaxed);
     }
+
+    /// Checks a workspace out of the pool (or makes a fresh one the first
+    /// time a thread finds the pool empty). The lock is held only for the
+    /// pop, never across the forward pass.
+    fn checkout(&self) -> Workspace {
+        self.pool
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn check_in(&self, ws: Workspace) {
+        self.pool.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Workspaces currently parked in the pool (diagnostics; equals the
+    /// peak number of concurrent queriers once traffic quiesces).
+    pub fn pooled_workspaces(&self) -> usize {
+        self.pool.lock().expect("workspace pool poisoned").len()
+    }
 }
 
 impl Oracle for CountingOracle {
     fn query_batch(&self, x: &Tensor) -> Tensor {
         self.add_queries(x.dims()[0] as u64);
-        let logits = self.graph.logits_batch(x, &self.keys);
-        match self.mode {
-            OutputMode::Logits => logits,
+        let mut ws = self.checkout();
+        let logits = self.graph.logits_batch_into(&mut ws, x, &self.keys);
+        let out = match self.mode {
+            OutputMode::Logits => logits.clone(),
             OutputMode::Softmax => {
                 let (b, q) = (logits.dims()[0], logits.dims()[1]);
                 let mut out = Vec::with_capacity(b * q);
@@ -356,7 +394,9 @@ impl Oracle for CountingOracle {
                 }
                 Tensor::from_vec(out, [b, q])
             }
-        }
+        };
+        self.check_in(ws);
+        out
     }
 
     fn query_count(&self) -> u64 {
@@ -440,6 +480,13 @@ mod tests {
         assert_eq!(
             o.query_count(),
             (threads * batches_per_thread * rows_per_batch) as u64
+        );
+        // The workspace pool must not leak: it ends with at most one
+        // workspace per peak-concurrent querier, and at least one overall.
+        let pooled = o.pooled_workspaces();
+        assert!(
+            (1..=threads).contains(&pooled),
+            "pool holds {pooled} workspaces after {threads} threads"
         );
     }
 

@@ -146,6 +146,9 @@ impl Trainer {
         let keys = model.true_key().to_assignment();
         let mut adam = Adam::new(self.lr);
         let mut loss_history = Vec::with_capacity(self.epochs);
+        // One workspace across every Adam step of the run; the planned
+        // forward/backward reuse its per-node buffers each mini-batch.
+        let mut ws = relock_graph::Workspace::new();
         for _ in 0..self.epochs {
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -155,10 +158,10 @@ impl Trainer {
                 data.train.batches(self.batch_size, rng).collect();
             for (x, y) in batch_list {
                 let graph = model.white_box();
-                let acts = graph.forward(&x, &keys);
-                let logits = acts.value(graph.output_id());
+                graph.forward_into(&mut ws, &x, &keys);
+                let logits = ws.value(graph.output_id());
                 let (loss, grad) = softmax_cross_entropy(logits, &y);
-                let grads = graph.backward(&acts, &grad, &keys);
+                let grads = graph.backward_into(&mut ws, &grad, &keys, true);
                 adam.step(model.white_box_mut(), &grads.params);
                 epoch_loss += loss;
                 batches += 1;

@@ -7,6 +7,7 @@
 //! `Arc`, no `'static` bound on the backend.
 
 use relock_locking::{Oracle, OracleError};
+use relock_tensor::compute::split_rows;
 use relock_tensor::Tensor;
 use std::sync::mpsc;
 
@@ -25,21 +26,14 @@ pub(crate) fn evaluate_sharded<O: Oracle + ?Sized>(
 ) -> Result<Tensor, OracleError> {
     let rows = x.dims()[0];
     let cols = x.dims()[1];
-    let shards = workers.max(1).min(rows / min_rows_per_shard.max(1)).max(1);
-    if shards == 1 {
+    // Same row partitioning as the tensor kernels' thread split — the pool
+    // and the compute layer shard identically, so a backend that is itself
+    // a planned-graph evaluation sees the same batch shapes either way.
+    let ranges = split_rows(rows, workers, min_rows_per_shard);
+    if ranges.len() <= 1 {
         return inner.try_query_batch(x);
     }
-
-    // Near-equal row ranges: the first `rows % shards` shards get one extra.
-    let base = rows / shards;
-    let extra = rows % shards;
-    let mut ranges = Vec::with_capacity(shards);
-    let mut start = 0usize;
-    for s in 0..shards {
-        let len = base + usize::from(s < extra);
-        ranges.push((start, start + len));
-        start += len;
-    }
+    let shards = ranges.len();
 
     let (tx, rx) = mpsc::channel::<(usize, Result<Tensor, OracleError>)>();
     std::thread::scope(|scope| {

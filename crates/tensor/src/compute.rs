@@ -1,0 +1,427 @@
+//! Shared CPU compute substrate: scoped-thread row sharding and the
+//! blocked gemm kernels behind [`Tensor`](crate::Tensor)'s matmuls.
+//!
+//! Everything here preserves **bit-identical f64 results** at any worker
+//! count: each output element accumulates its `k` contributions in strictly
+//! ascending order into a single accumulator, threads only ever split work
+//! across *disjoint output rows*, and the per-element accumulation order is
+//! the same as the naive reference kernels. That discipline is what lets
+//! the attack's checkpoint/determinism suites hold while the kernels run
+//! tiled and parallel.
+//!
+//! The row-splitting policy (`split_rows`) is shared with the
+//! `relock-serve` oracle worker pool, which historically carried its own
+//! copy.
+
+use std::sync::OnceLock;
+
+/// Column-block width of the blocked kernels. Inner `j` blocks keep the
+/// active `B`/`out` row segments resident in L1 across the `k` loop without
+/// changing any element's accumulation order (only `k` order matters).
+const J_BLOCK: usize = 64;
+
+/// Flop threshold (`m·k·n`) below which a gemm never spawns threads: tiny
+/// products dominate the attack's line searches and a spawn costs more
+/// than the multiply.
+const PAR_FLOPS: usize = 200_000;
+
+/// Minimum output rows per shard — splitting finer than this loses more to
+/// coordination than it gains.
+const MIN_ROWS_PER_SHARD: usize = 8;
+
+/// Worker threads available to the kernels: `RELOCK_THREADS` if set,
+/// otherwise the machine's available parallelism. Cached after first read.
+pub fn max_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RELOCK_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Splits `rows` into at most `workers` contiguous, near-equal `(lo, hi)`
+/// ranges of at least `min_rows_per_shard` rows each (the first
+/// `rows % shards` ranges take one extra row). Returns a single full range
+/// when the work does not warrant splitting; an empty `Vec` for zero rows.
+pub fn split_rows(rows: usize, workers: usize, min_rows_per_shard: usize) -> Vec<(usize, usize)> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let shards = workers.max(1).min(rows / min_rows_per_shard.max(1)).max(1);
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut lo = 0usize;
+    for s in 0..shards {
+        let hi = lo + base + usize::from(s < extra);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
+/// Runs `f(lo, block)` over disjoint row blocks of `out` (a `rows ×
+/// row_len` buffer), using scoped threads when more than one shard is
+/// warranted. `f` receives the first row index of its block and the
+/// mutable block slice. With one shard this is a plain call — no spawn,
+/// identical code path to the sequential kernel.
+pub fn for_each_row_block<F>(out: &mut [f64], rows: usize, row_len: usize, workers: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_len);
+    let ranges = split_rows(rows, workers, MIN_ROWS_PER_SHARD);
+    if ranges.len() <= 1 {
+        if !out.is_empty() || rows == 0 {
+            f(0, out);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut consumed = 0usize;
+        for &(lo, hi) in &ranges {
+            let (block, tail) = rest.split_at_mut((hi - lo) * row_len);
+            rest = tail;
+            consumed += hi - lo;
+            let fr = &f;
+            scope.spawn(move || fr(lo, block));
+        }
+        debug_assert_eq!(consumed, rows);
+    });
+}
+
+/// Whether a gemm of `m·k·n` flops should go parallel at all.
+fn parallel_workers(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) >= PAR_FLOPS {
+        max_threads()
+    } else {
+        1
+    }
+}
+
+/// `out = A · B` for `A: m×k`, `B: k×n`, `out: m×n`, overwriting `out`.
+///
+/// Blocked i-k-j kernel: every `out[i][j]` accumulates `k = 0..K` in
+/// ascending order into a single accumulator — bit-identical to the naive
+/// i-k-j loop at any worker count.
+pub fn gemm_nn_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    gemm_nn_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_nn_into`] with an explicit worker count (tests pin this).
+pub fn gemm_nn_into_with(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        for (bi, out_row) in block.chunks_mut(n).enumerate() {
+            let i = lo + bi;
+            let a_row = &a[i * k..(i + 1) * k];
+            out_row.fill(0.0);
+            let mut jb = 0;
+            while jb < n {
+                let je = (jb + J_BLOCK).min(n);
+                // Four `k` steps per sweep of the output segment: each
+                // element still accumulates its contributions in ascending
+                // `k` order (the four adds chain in-register), so results
+                // are bit-identical to the one-step loop — but the segment
+                // is loaded and stored once per four steps instead of once
+                // per step.
+                let mut kk = 0usize;
+                while kk + 4 <= k {
+                    let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+                    let b0 = &b[kk * n + jb..kk * n + je];
+                    let b1 = &b[(kk + 1) * n + jb..(kk + 1) * n + je];
+                    let b2 = &b[(kk + 2) * n + jb..(kk + 2) * n + je];
+                    let b3 = &b[(kk + 3) * n + jb..(kk + 3) * n + je];
+                    for ((((o, &v0), &v1), &v2), &v3) in
+                        out_row[jb..je].iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
+                    }
+                    kk += 4;
+                }
+                for (kk, &av) in a_row.iter().enumerate().skip(kk) {
+                    let b_seg = &b[kk * n + jb..kk * n + je];
+                    for (o, &bv) in out_row[jb..je].iter_mut().zip(b_seg) {
+                        *o += av * bv;
+                    }
+                }
+                jb = je;
+            }
+        }
+    });
+}
+
+/// `out = A · Bᵀ` for `A: m×k`, `B: n×k`, `out: m×n`, overwriting `out`.
+///
+/// Each element is one k-ascending dot product — the same left-fold the
+/// naive kernel computes.
+pub fn gemm_nt_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    gemm_nt_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_nt_into`] with an explicit worker count (tests pin this).
+pub fn gemm_nt_into_with(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        for (bi, out_row) in block.chunks_mut(n).enumerate() {
+            let i = lo + bi;
+            let a_row = &a[i * k..(i + 1) * k];
+            // Four output columns at a time: each column keeps its own
+            // accumulator walking `k` in ascending order (bit-identical to
+            // the one-column loop), but the four independent chains hide
+            // the f64 add latency the strict summation order would
+            // otherwise serialize on.
+            let mut j = 0usize;
+            while j + 8 <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let b4 = &b[(j + 4) * k..(j + 5) * k];
+                let b5 = &b[(j + 5) * k..(j + 6) * k];
+                let b6 = &b[(j + 6) * k..(j + 7) * k];
+                let b7 = &b[(j + 7) * k..(j + 8) * k];
+                let mut s = [0.0f64; 8];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    s[0] += av * b0[kk];
+                    s[1] += av * b1[kk];
+                    s[2] += av * b2[kk];
+                    s[3] += av * b3[kk];
+                    s[4] += av * b4[kk];
+                    s[5] += av * b5[kk];
+                    s[6] += av * b6[kk];
+                    s[7] += av * b7[kk];
+                }
+                out_row[j..j + 8].copy_from_slice(&s);
+                j += 8;
+            }
+            while j + 4 <= n {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for (&av, ((&v0, &v1), (&v2, &v3))) in
+                    a_row.iter().zip(b0.iter().zip(b1).zip(b2.iter().zip(b3)))
+                {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (o, b_row) in out_row[j..].iter_mut().zip(b[j * k..].chunks_exact(k)) {
+                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            }
+        }
+    });
+}
+
+/// `out = Aᵀ · B` for `A: k×m`, `B: k×n`, `out: m×n`, overwriting `out`.
+///
+/// Accumulates `k` (the shared leading dimension) in ascending order per
+/// element; threads split the *output* rows `i`, each walking the full `k`
+/// range sequentially, so the per-element order never changes.
+pub fn gemm_tn_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    gemm_tn_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_tn_into`] with an explicit worker count (tests pin this).
+pub fn gemm_tn_into_with(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        let rows = block.len() / n.max(1);
+        block.fill(0.0);
+        for kk in 0..k {
+            let a_seg = &a[kk * m + lo..kk * m + lo + rows];
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (bi, &av) in a_seg.iter().enumerate() {
+                let out_row = &mut block[bi * n..(bi + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    /// Naive reference kernels — the accumulation-order ground truth.
+    fn naive_nn(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_nt(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = (0..k).map(|kk| a[i * k + kk] * b[j * k + kk]).sum();
+            }
+        }
+        out
+    }
+
+    fn naive_tn(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; m * n];
+        for kk in 0..k {
+            for i in 0..m {
+                for j in 0..n {
+                    out[i * n + j] += a[kk * m + i] * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn split_rows_covers_exactly_without_overlap() {
+        for rows in [0usize, 1, 2, 7, 8, 9, 63, 64, 100, 1000] {
+            for workers in [1usize, 2, 3, 4, 7, 16] {
+                for min_rows in [1usize, 4, 8, 32] {
+                    let ranges = split_rows(rows, workers, min_rows);
+                    if rows == 0 {
+                        assert!(ranges.is_empty());
+                        continue;
+                    }
+                    assert!(ranges.len() <= workers.max(1));
+                    let mut next = 0usize;
+                    for &(lo, hi) in &ranges {
+                        assert_eq!(lo, next, "gap at {lo}");
+                        assert!(hi > lo, "empty shard");
+                        next = hi;
+                    }
+                    assert_eq!(next, rows, "rows not covered");
+                    if ranges.len() > 1 {
+                        for &(lo, hi) in &ranges {
+                            assert!(hi - lo >= min_rows.min(rows));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_rows_matches_documented_remainder_rule() {
+        // 10 rows over 4 workers, min 1: 3,3,2,2.
+        assert_eq!(split_rows(10, 4, 1), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        // Too few rows to split: one shard.
+        assert_eq!(split_rows(5, 4, 8), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn gemm_kernels_bit_identical_to_naive_across_shapes_and_workers() {
+        let mut rng = Prng::seed_from_u64(77);
+        // Odd, degenerate, and block-straddling shapes.
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (1, 5, 3),
+            (3, 1, 7),
+            (7, 7, 7),
+            (13, 29, 17),
+            (64, 64, 64),
+            (65, 63, 129),
+            (2, 200, 5),
+        ];
+        for &(m, k, n) in &shapes {
+            let a_nn: Vec<f64> = (0..m * k).map(|_| rng.normal()).collect();
+            let b_nn: Vec<f64> = (0..k * n).map(|_| rng.normal()).collect();
+            let a_t: Vec<f64> = (0..k * m).map(|_| rng.normal()).collect();
+            let b_t: Vec<f64> = (0..n * k).map(|_| rng.normal()).collect();
+            let want_nn = naive_nn(&a_nn, &b_nn, m, k, n);
+            let want_nt = naive_nt(&a_nn, &b_t, m, k, n);
+            let want_tn = naive_tn(&a_t, &b_nn, m, k, n);
+            for workers in [1usize, 2, 3, 5, 16] {
+                let mut out = vec![f64::NAN; m * n];
+                gemm_nn_into_with(&a_nn, &b_nn, &mut out, m, k, n, workers);
+                assert_eq!(bits(&out), bits(&want_nn), "nn {m}x{k}x{n} w={workers}");
+                let mut out = vec![f64::NAN; m * n];
+                gemm_nt_into_with(&a_nn, &b_t, &mut out, m, k, n, workers);
+                assert_eq!(bits(&out), bits(&want_nt), "nt {m}x{k}x{n} w={workers}");
+                let mut out = vec![f64::NAN; m * n];
+                gemm_tn_into_with(&a_t, &b_nn, &mut out, m, k, n, workers);
+                assert_eq!(bits(&out), bits(&want_tn), "tn {m}x{k}x{n} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_overwrites_stale_output_contents() {
+        // The planner reuses buffers: kernels must fully overwrite, never
+        // blend with what a previous pass left behind.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [999.0f64; 4];
+        gemm_nn_into_with(&a, &b, &mut out, 2, 2, 2, 1);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+        let mut out = [999.0f64; 4];
+        gemm_tn_into_with(&a, &b, &mut out, 2, 2, 2, 1);
+        assert_eq!(out, [26.0, 30.0, 38.0, 44.0]);
+    }
+
+    #[test]
+    fn zero_rows_are_tolerated() {
+        let mut out: Vec<f64> = Vec::new();
+        gemm_nn_into_with(&[], &[1.0, 2.0], &mut out, 0, 1, 2, 4);
+        assert!(out.is_empty());
+    }
+}

@@ -24,6 +24,7 @@
 //! assert_eq!(y.as_slice(), &[3.0, 7.0]);
 //! ```
 
+pub mod compute;
 pub mod im2col;
 pub mod linalg;
 pub mod rng;

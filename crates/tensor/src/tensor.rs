@@ -315,6 +315,30 @@ impl Tensor {
         }
     }
 
+    /// `self = y + alpha * x`, reusing `self`'s buffer (shape and previous
+    /// contents are discarded). The in-place composition of clone + axpy
+    /// that the attack's probe-point loops lean on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` shapes differ.
+    pub fn axpy_into(&mut self, alpha: f64, x: &Tensor, y: &Tensor) {
+        assert_eq!(x.shape, y.shape, "axpy_into shape mismatch");
+        self.data.clear();
+        self.data
+            .extend(y.data.iter().zip(&x.data).map(|(&yv, &xv)| yv + alpha * xv));
+        self.shape = y.shape.clone();
+    }
+
+    /// Re-shapes `self` for use as an output buffer: sets `shape`, grows or
+    /// shrinks `data` to match (retaining capacity), and leaves the element
+    /// contents unspecified — callers overwrite them.
+    pub fn reset_shape(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.data.resize(shape.numel(), 0.0);
+        self.shape = shape;
+    }
+
     /// Multiplies every element by `alpha`, returning a new tensor.
     pub fn scale(&self, alpha: f64) -> Tensor {
         self.map(|x| alpha * x)
@@ -417,22 +441,30 @@ impl Tensor {
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
         let mut out = vec![0.0f64; m * n];
-        // i-k-j loop order: the inner loop walks both `other` and `out`
-        // contiguously, which matters for the Jacobian pushes.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::compute::gemm_nn_into(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, [m, n])
+    }
+
+    /// [`matmul`](Self::matmul) writing into `out`, reusing its buffer.
+    ///
+    /// Bit-identical to the allocating form; `out`'s previous contents and
+    /// shape are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`matmul`](Self::matmul).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul requires matrices, got {} x {}",
+            self.shape,
+            other.shape
+        );
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
+        out.reset_shape([m, n]);
+        crate::compute::gemm_nn_into(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// `A · Bᵀ` without materializing the transpose.
@@ -452,15 +484,26 @@ impl Tensor {
         let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", k, k2);
         let mut out = vec![0.0f64; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                *o = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-            }
-        }
+        crate::compute::gemm_nt_into(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, [m, n])
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) writing into `out`, reusing its
+    /// buffer. Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`matmul_nt`](Self::matmul_nt).
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul_nt requires matrices"
+        );
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", k, k2);
+        out.reset_shape([m, n]);
+        crate::compute::gemm_nt_into(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// `Aᵀ · B` without materializing the transpose.
@@ -480,20 +523,26 @@ impl Tensor {
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", k, k2);
         let mut out = vec![0.0f64; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::compute::gemm_tn_into(&self.data, &other.data, &mut out, m, k, n);
         Tensor::from_vec(out, [m, n])
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) writing into `out`, reusing its
+    /// buffer. Bit-identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`matmul_tn`](Self::matmul_tn).
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul_tn requires matrices"
+        );
+        let (k, m) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", k, k2);
+        out.reset_shape([m, n]);
+        crate::compute::gemm_tn_into(&self.data, &other.data, &mut out.data, m, k, n);
     }
 
     /// Matrix–vector product.
@@ -516,6 +565,11 @@ impl Tensor {
     }
 
     /// `Aᵀ x` without materializing the transpose.
+    ///
+    /// Unlike the dense gemm kernels, this keeps its `x[i] == 0` skip: the
+    /// Jacobian push path feeds it genuinely sparse mask-gated vectors,
+    /// where the skip wins (the dense matmuls dropped theirs — on dense
+    /// data the branch only mispredicts).
     ///
     /// # Panics
     ///
