@@ -61,9 +61,14 @@ use std::time::Duration;
 /// The four magic bytes opening every checkpoint.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"RLCP";
 
-/// Current checkpoint format version. Bumped on any layout change; older
-/// or newer files are rejected with [`CheckpointError::Version`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint format version. Bumped on any layout change — or,
+/// as for version 2, on a change to the driver's PRNG-stream discipline: a
+/// version-1 `Correcting` cut could land on any candidate index, but the
+/// sharded engine forks per-site/per-candidate streams and cuts only on
+/// wave boundaries, so replaying an old snapshot would silently diverge.
+/// Older or newer files are rejected with [`CheckpointError::Version`]
+/// (and a resume falls back to a fresh run).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written or restored.
 #[derive(Debug, Clone, PartialEq, Eq)]

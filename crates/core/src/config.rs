@@ -1,5 +1,18 @@
 //! Attack configuration.
 
+/// Worker threads requested via the `RELOCK_THREADS` environment variable,
+/// or 1 when unset/invalid. Unlike the tensor kernels' auto-detected
+/// parallelism, the attack engine stays sequential unless asked: its
+/// parallel path is bit-identical anyway, but opting in keeps default runs
+/// reproducible across machines *including* their thread schedules.
+fn env_threads() -> usize {
+    std::env::var("RELOCK_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Hyper-parameters of the learning-based attack (paper §3.6).
 #[derive(Debug, Clone, Copy)]
 pub struct LearningConfig {
@@ -103,8 +116,21 @@ pub struct AttackConfig {
     pub max_candidates_per_hd: usize,
     /// Only the this-many least-confident bits participate in correction.
     pub correction_window: usize,
-    /// Worker threads for per-site parallelism (1 = sequential).
+    /// Worker threads for per-site and per-candidate parallelism
+    /// (1 = sequential). The default honours the `RELOCK_THREADS`
+    /// environment variable when set (else 1), which is how the CI matrix
+    /// re-runs the whole suite in parallel mode. The parallel path is
+    /// **bit-identical** to the sequential one — see DESIGN.md §3e for the
+    /// determinism contract (per-site/per-candidate PRNG stream forking in
+    /// canonical order, canonical merge).
     pub threads: usize,
+    /// Error-correction wave width: §3.8 candidates are validated in
+    /// fixed-size waves. Every member of a wave is fully evaluated and the
+    /// earliest `Pass` in candidate order commits, so query traffic and
+    /// PRNG consumption depend on this width but **not** on [`threads`].
+    ///
+    /// [`threads`]: AttackConfig::threads
+    pub correction_wave: usize,
     /// Ablation A1: skip the algebraic Algorithm 1 entirely, forcing the
     /// per-layer learning path.
     pub disable_algebraic: bool,
@@ -150,7 +176,8 @@ impl Default for AttackConfig {
             max_hamming: 4,
             max_candidates_per_hd: 128,
             correction_window: 18,
-            threads: 1,
+            threads: env_threads(),
+            correction_wave: 4,
             disable_algebraic: false,
             preimage_perturbation: 0.0,
             query_budget: None,

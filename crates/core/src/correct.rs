@@ -5,6 +5,12 @@
 //! flipped in ascending confidence order, first one at a time (Hamming
 //! distance 1), then in pairs, and so on — each candidate re-validated —
 //! until a key vector passes.
+//!
+//! The enumeration here is pure and deterministic; the decryptor consumes
+//! it in fixed-width waves (`AttackConfig::correction_wave`), validating
+//! every member of a wave and committing the earliest `Pass` in candidate
+//! order, so the search outcome does not depend on how many worker
+//! threads evaluate a wave (DESIGN.md §3e).
 
 /// Enumerates candidate flip sets in the paper's order: increasing Hamming
 /// distance; within a distance, increasing total confidence of the flipped

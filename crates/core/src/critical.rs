@@ -125,7 +125,10 @@ pub fn search_critical_point(
 }
 
 /// [`search_critical_point`] through a caller-owned workspace, so attack
-/// loops sweeping many neurons pay for the evaluation buffers once.
+/// loops sweeping many neurons pay for the evaluation buffers once. All
+/// randomness comes from the caller's `rng` and all scratch lives in `ws`,
+/// so concurrent searches over different neurons (the sharded engine's
+/// per-site workers) stay independent and replayable.
 pub fn search_critical_point_with(
     g: &Graph,
     ws: &mut Workspace,

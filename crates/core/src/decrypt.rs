@@ -27,11 +27,12 @@ use crate::learning::{
 };
 use crate::telemetry::{Procedure, QueryStatsSnapshot, TimingBreakdown};
 use crate::validate::{key_vector_validation_checked_with, ValidationTarget, ValidationVerdict};
-use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Workspace};
-use relock_locking::{Key, Oracle};
+use relock_graph::{Graph, KeyAssignment, KeySlot, LockSite, NodeId, Workspace, WorkspacePool};
+use relock_locking::{Key, Oracle, OracleError};
 use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Per-layer attack statistics.
@@ -300,6 +301,11 @@ impl Decryptor {
         // evaluation of the serial phases (witness searches, Jacobians,
         // validation probes) reuses its buffers.
         let mut ws = Workspace::new();
+        // Shared workspace pool for the sharded phases (per-site inference,
+        // correction waves): workers check workspaces out per shard, so the
+        // pool holds at most `threads` workspaces whose buffers survive
+        // across layers and phases.
+        let pool = WorkspacePool::new();
 
         // Session state: fresh defaults, or the snapshot's restoration.
         let mut timing;
@@ -451,7 +457,7 @@ impl Decryptor {
                 } else {
                     broker.set_scope(Some(Procedure::KeyBitInference.label()));
                     timing.time(Procedure::KeyBitInference, || {
-                        self.infer_layer(white_box, &mut ws, &ka, layer_sites, oracle, rng)
+                        self.infer_layer(white_box, &pool, &ka, layer_sites, oracle, rng)
                     })
                 };
                 for (slot, bit) in &inf {
@@ -685,8 +691,18 @@ impl Decryptor {
                     effective_hamming,
                     cfg.max_candidates_per_hd,
                 );
+                // Candidates are validated in fixed-width *waves*: every
+                // member of a wave is fully evaluated (each against its own
+                // clone of the assignment, on its own forked PRNG stream)
+                // and the earliest Pass in candidate order commits. The
+                // wave width comes from the config, never from `threads`,
+                // so PRNG consumption, query traffic, and the committed
+                // flip are bit-identical at every thread count; checkpoint
+                // cuts land only on wave boundaries for the same reason.
+                let wave_width = cfg.correction_wave.max(1);
                 let mut applied: Option<Vec<usize>> = None;
-                for (ci, cand) in candidates.iter().enumerate().skip(correction_from) {
+                let mut ci = correction_from;
+                while ci < candidates.len() && applied.is_none() && !starved {
                     if let Some(w) = writer.as_mut() {
                         w.write(false, oracle.query_count() - start_queries, || {
                             make_state(
@@ -708,39 +724,46 @@ impl Decryptor {
                             )
                         })?;
                     }
-                    report.validation_rounds += 1;
-                    for &i in cand {
-                        let s = layer_slots[i];
-                        let cur = ka.to_bits()[s.index()];
-                        ka.set_bit(s, !cur);
-                    }
-                    // Correction candidates must produce affirmative
-                    // evidence: NoEvidence counts as failure here.
-                    let verdict = key_vector_validation_checked_with(
+                    let wave = &candidates[ci..candidates.len().min(ci + wave_width)];
+                    report.validation_rounds += wave.len();
+                    // Forked in canonical candidate order — the parent
+                    // stream advances by exactly `wave.len()`, regardless
+                    // of how the wave is scheduled.
+                    let wave_rngs: Vec<Prng> = wave.iter().map(|_| rng.fork()).collect();
+                    let verdicts = self.validate_wave(
                         white_box,
-                        &mut ws,
+                        &pool,
                         &ka,
+                        &layer_slots,
+                        wave,
                         target.as_ref(),
                         oracle,
-                        cfg,
-                        rng,
+                        &wave_rngs,
                     );
-                    if verdict == Ok(ValidationVerdict::Pass) {
-                        applied = Some(cand.clone());
-                        break;
+                    for (cand, verdict) in wave.iter().zip(&verdicts) {
+                        match verdict {
+                            // Correction candidates must produce affirmative
+                            // evidence: NoEvidence counts as failure here.
+                            Ok(ValidationVerdict::Pass) => {
+                                for &i in cand {
+                                    let s = layer_slots[i];
+                                    let cur = ka.to_bits()[s.index()];
+                                    ka.set_bit(s, !cur);
+                                }
+                                applied = Some(cand.clone());
+                                break;
+                            }
+                            Err(_) => {
+                                // Out of budget mid-search: keep the
+                                // pre-correction learned candidate and stop
+                                // burning wall clock.
+                                starved = true;
+                                break;
+                            }
+                            Ok(_) => {}
+                        }
                     }
-                    // Undo and try the next candidate.
-                    for &i in cand {
-                        let s = layer_slots[i];
-                        let cur = ka.to_bits()[s.index()];
-                        ka.set_bit(s, !cur);
-                    }
-                    if verdict.is_err() {
-                        // Out of budget mid-search: keep the pre-correction
-                        // learned candidate and stop burning wall clock.
-                        starved = true;
-                        break;
-                    }
+                    ci += wave.len();
                 }
                 timing.add(Procedure::ErrorCorrection, corr_start.elapsed());
                 match applied {
@@ -796,67 +819,64 @@ impl Decryptor {
         })
     }
 
-    /// Runs Algorithm 1 on every site of a layer, optionally in parallel.
-    #[allow(clippy::too_many_arguments)]
+    /// Runs Algorithm 1 on every site of a layer, sharded across the
+    /// configured worker threads.
+    ///
+    /// **Determinism contract (DESIGN.md §3e):** one PRNG stream is forked
+    /// per site, in canonical site order, at *every* thread count — so the
+    /// parent stream advances by exactly `sites.len()` and each site's
+    /// search consumes its own stream, independent of scheduling. Results
+    /// are merged back in canonical site order. The sequential and parallel
+    /// paths are therefore bit-identical.
     fn infer_layer(
         &self,
         g: &Graph,
-        ws: &mut Workspace,
+        pool: &WorkspacePool,
         ka: &KeyAssignment,
         sites: &[LockSite],
         oracle: &dyn Oracle,
         rng: &mut Prng,
-    ) -> Vec<(KeySlot, Option<bool>)> {
+    ) -> InferredBits {
         let cfg = &self.cfg;
-        if cfg.threads <= 1 || sites.len() < 2 {
-            return sites
-                .iter()
-                .map(|s| {
-                    (
-                        s.slot,
-                        key_bit_inference_with(g, ws, ka, s, oracle, cfg, rng),
-                    )
-                })
-                .collect();
-        }
-        // Deterministic parallelism: one forked RNG per site, fixed order.
-        let mut rngs: Vec<Prng> = sites.iter().map(|_| rng.fork()).collect();
-        let mut results: Vec<Option<(KeySlot, Option<bool>)>> = vec![None; sites.len()];
-        let chunk = sites.len().div_ceil(cfg.threads);
-        std::thread::scope(|scope| {
-            let mut rest_results = results.as_mut_slice();
-            let mut rest_rngs = rngs.as_mut_slice();
-            let mut offset = 0usize;
-            for _ in 0..cfg.threads {
-                let take = chunk.min(rest_results.len());
-                if take == 0 {
-                    break;
-                }
-                let (res_head, res_tail) = rest_results.split_at_mut(take);
-                let (rng_head, rng_tail) = rest_rngs.split_at_mut(take);
-                rest_results = res_tail;
-                rest_rngs = rng_tail;
-                let my_sites = &sites[offset..offset + take];
-                offset += take;
-                scope.spawn(move || {
-                    // Workspaces are not shared across threads; one per
-                    // worker amortizes over its whole chunk of sites.
-                    let mut ws = Workspace::new();
-                    for ((out, site_rng), site) in
-                        res_head.iter_mut().zip(rng_head.iter_mut()).zip(my_sites)
-                    {
-                        *out = Some((
-                            site.slot,
-                            key_bit_inference_with(g, &mut ws, ka, site, oracle, cfg, site_rng),
-                        ));
-                    }
-                });
+        let rngs: Vec<Prng> = sites.iter().map(|_| rng.fork()).collect();
+        run_sharded(pool, cfg.threads, sites.len(), |i, ws| {
+            let site = &sites[i];
+            let mut site_rng = rngs[i].clone();
+            (
+                site.slot,
+                key_bit_inference_with(g, ws, ka, site, oracle, cfg, &mut site_rng),
+            )
+        })
+    }
+
+    /// Validates one §3.8 correction wave, sharded across the configured
+    /// worker threads. Each candidate flips its bits on a **clone** of the
+    /// base assignment and consumes its own pre-forked PRNG stream, so the
+    /// verdict vector is bit-identical at every thread count and the base
+    /// assignment is never mutated here.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_wave(
+        &self,
+        g: &Graph,
+        pool: &WorkspacePool,
+        base: &KeyAssignment,
+        layer_slots: &[KeySlot],
+        wave: &[Vec<usize>],
+        target: Option<&ValidationTarget>,
+        oracle: &dyn Oracle,
+        rngs: &[Prng],
+    ) -> Vec<Result<ValidationVerdict, OracleError>> {
+        let cfg = &self.cfg;
+        run_sharded(pool, cfg.threads, wave.len(), |i, ws| {
+            let mut trial = base.clone();
+            for &flip in &wave[i] {
+                let s = layer_slots[flip];
+                let cur = trial.to_bits()[s.index()];
+                trial.set_bit(s, !cur);
             }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("worker filled slot"))
-            .collect()
+            let mut cand_rng = rngs[i].clone();
+            key_vector_validation_checked_with(g, ws, &trial, target, oracle, cfg, &mut cand_rng)
+        })
     }
 
     /// Chooses the next layer's probe elements: up to `validation_neurons`
@@ -927,6 +947,65 @@ fn group_layers(g: &Graph) -> Vec<(NodeId, Vec<LockSite>)> {
         }
     }
     layers
+}
+
+/// Runs `eval(i, workspace)` for every `i in 0..n` across up to `threads`
+/// scoped workers pulling indices from a shared atomic counter, and merges
+/// the results back into index order. With one worker (or one item) no
+/// thread is spawned and the loop runs inline on one pooled workspace.
+///
+/// Dynamic pulling instead of static `split_rows` shards because item
+/// costs vary wildly (a critical-point search can burn many retry lines
+/// while its neighbour bisects at once): the critical path becomes the
+/// single slowest item, not the slowest contiguous shard. Scheduling
+/// freedom cannot perturb the outcome — every index owns a pre-forked PRNG
+/// stream and its own result slot, so the merge is canonical regardless of
+/// which worker ran which item (DESIGN.md §3e).
+fn run_sharded<T: Send>(
+    pool: &WorkspacePool,
+    threads: usize,
+    n: usize,
+    eval: impl Fn(usize, &mut Workspace) -> T + Sync,
+) -> Vec<T> {
+    let workers = threads.min(n);
+    if workers <= 1 {
+        let mut ws = pool.acquire();
+        return (0..n).map(|i| eval(i, &mut ws)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let eval = &eval;
+                scope.spawn(move || {
+                    // Workspaces are never shared across threads; one
+                    // pooled workspace per worker amortizes over all the
+                    // items it pulls and is returned for later phases.
+                    let mut ws = pool.acquire();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, eval(i, &mut ws)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("recovery worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was pulled"))
+        .collect()
 }
 
 /// Confidence map → `(slot, value)` pairs sorted by slot index, so the

@@ -72,8 +72,12 @@ pub fn key_bit_inference(
 
 /// [`key_bit_inference`] through a caller-owned workspace: the critical-point
 /// search, the Jacobian, and every region/pre-activation probe of one site
-/// share the same buffers, and the decryptor hands one workspace down its
-/// whole site loop.
+/// share the same buffers. The decryptor hands each recovery worker one
+/// pooled workspace for all the sites it pulls; a site reads shared state
+/// (`g`, `keys`, the oracle) and mutates only its own `ws` and `rng`, so
+/// sites of one layer run concurrently without synchronizing — each site's
+/// stream is pre-forked in canonical order (DESIGN.md §3e), which keeps
+/// the outcome bit-identical at every thread count.
 pub fn key_bit_inference_with(
     g: &Graph,
     ws: &mut Workspace,

@@ -8,7 +8,7 @@
 use relock_attack::{
     AttackConfig, AttackState, CheckpointPolicy, DecryptionReport, Decryptor, MemoryCheckpointSink,
 };
-use relock_locking::{CountingOracle, LockSpec, LockedModel};
+use relock_locking::{CountingOracle, LockSpec, LockedModel, Oracle};
 use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
 use relock_serve::{Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, RetryPolicy};
 use relock_tensor::rng::Prng;
@@ -179,7 +179,7 @@ fn mlp_survives_scheduled_kills_bit_identically() {
 
 #[test]
 fn lenet_survives_scheduled_kills_bit_identically() {
-    assert_soak_matches_reference(&lenet_victim(), 511);
+    assert_soak_matches_reference(&lenet_victim(), 512);
 }
 
 /// A checkpoint corrupted *between* segments (disk rot, torn copy) must
@@ -267,4 +267,72 @@ fn attack_succeeds_through_transient_chaos_with_retries() {
     // And the values never drifted: a clean oracle agrees bit-for-bit.
     let clean = reference_run(&model, 501);
     assert_eq!(report.key, clean.key);
+}
+
+/// Concurrency soak: the sharded engine (4 workers) hammers a chaotic
+/// oracle that injects transient faults *and* latency spikes, so worker
+/// threads pile up on the broker while retries reorder its traffic. The
+/// fault schedule interleaves with the thread schedule, so query totals
+/// are not compared against a clean run — what must survive contention is
+/// (a) the recovered key, still bit-identical to a clean sequential run,
+/// and (b) the broker's books: every requested row is either a cache hit
+/// or an underlying row, globally and within every procedure scope, and
+/// the underlying total agrees with the oracle's own row counter — no
+/// row lost or double-counted anywhere.
+#[test]
+fn parallel_attack_under_transient_chaos_keeps_exact_accounting() {
+    let model = mlp_victim();
+    let clean = reference_run(&model, 501);
+    assert_eq!(clean.fidelity(model.true_key()), 1.0);
+
+    let chaos = ChaosOracle::new(
+        CountingOracle::new(&model),
+        ChaosConfig {
+            seed: 29,
+            transient_rate: 0.08,
+            latency_spike_rate: 0.05,
+            latency_spike: Duration::from_micros(300),
+            ..ChaosConfig::default()
+        },
+    );
+    let broker = Broker::with_config(
+        &chaos,
+        BrokerConfig {
+            retry: RetryPolicy {
+                max_attempts: 24,
+                base_backoff: Duration::ZERO,
+                multiplier: 1,
+            },
+            ..BrokerConfig::default()
+        },
+    );
+    let cfg = AttackConfig {
+        threads: 4,
+        ..AttackConfig::fast()
+    };
+    let report = Decryptor::new(cfg)
+        .run_brokered(model.white_box(), &broker, &mut Prng::seed_from_u64(501))
+        .unwrap();
+    assert_eq!(
+        report.key, clean.key,
+        "chaos under contention must not perturb the recovered key"
+    );
+    assert_eq!(report.fidelity(model.true_key()), 1.0);
+
+    chaos.sync_stats(broker.stats());
+    let snap = broker.snapshot();
+    assert!(
+        snap.injected_faults > 0,
+        "fault schedule must actually fire"
+    );
+    assert!(
+        snap.is_balanced(),
+        "requested must equal cache_hits + underlying globally and per scope: {snap:?}"
+    );
+    assert_eq!(
+        snap.underlying,
+        chaos.query_count(),
+        "broker's underlying total must agree with the oracle's row counter"
+    );
+    assert_eq!(report.queries, snap.underlying);
 }

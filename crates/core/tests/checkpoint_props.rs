@@ -194,6 +194,47 @@ fn trailing_garbage_is_detected() {
     assert!(AttackState::decode(&bytes).is_err());
 }
 
+/// Applies one randomly chosen damage pattern to `bytes`: a truncation to
+/// a random length, a burst of 1–8 random bit flips, or both.
+fn random_damage(rng: &mut Prng, bytes: &[u8]) -> Vec<u8> {
+    let mut bad = bytes.to_vec();
+    let mode = rng.below(3);
+    if mode != 1 {
+        bad.truncate(rng.below(bad.len() + 1));
+    }
+    if mode != 0 && !bad.is_empty() {
+        for _ in 0..1 + rng.below(8) {
+            let pos = rng.below(bad.len());
+            bad[pos] ^= 1 << rng.below(8);
+        }
+    }
+    bad
+}
+
+/// Fuzz the `RLCP` parser: random truncations and multi-bit flip bursts
+/// must never panic the decoder, and whenever a damaged frame *does*
+/// decode (the damage cancelled out, or — vanishingly unlikely — the
+/// checksum collided), the result must equal the original state. There is
+/// no third outcome: decode errors or the truth, never a silently-wrong
+/// resume.
+#[test]
+fn random_damage_never_panics_and_never_decodes_to_a_different_state() {
+    let mut rng = Prng::seed_from_u64(4700);
+    for case in 0..400 {
+        let state = random_state(&mut rng);
+        let bytes = state.encode();
+        let bad = random_damage(&mut rng, &bytes);
+        let outcome = std::panic::catch_unwind(|| AttackState::decode(&bad))
+            .unwrap_or_else(|_| panic!("case {case}: decoder panicked on damaged frame"));
+        if let Ok(back) = outcome {
+            assert_eq!(
+                back, state,
+                "case {case}: damaged frame decoded to a different state"
+            );
+        }
+    }
+}
+
 /// End-to-end recovery contract: a corrupted checkpoint never panics and
 /// never poisons the result — `resume` reports the fallback and the fresh
 /// run still recovers the exact key.
@@ -268,4 +309,70 @@ fn corrupted_checkpoint_falls_back_to_clean_fresh_run() {
         .unwrap();
     assert!(status.resumed(), "got {status:?}");
     assert_eq!(again.key, reference.key);
+}
+
+/// Sampled end-to-end sweep of the same damage patterns the parser fuzz
+/// uses: every damaged checkpoint planted in the sink makes `resume`
+/// report `FellBack` and run fresh to the exact key — never a panic and
+/// never a silently-wrong resume from rotten state.
+#[test]
+fn sampled_damage_always_falls_back_and_recovers_exact_key() {
+    let mut rng = Prng::seed_from_u64(4800);
+    let model = build_mlp(
+        &MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap();
+    let g = model.white_box();
+    let oracle = CountingOracle::new(&model);
+    let dec = Decryptor::new(AttackConfig::fast());
+
+    let sink = MemoryCheckpointSink::new();
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let reference = dec
+        .run_with_checkpoints(
+            g,
+            &broker,
+            &mut Prng::seed_from_u64(4801),
+            &sink,
+            CheckpointPolicy::EVERY_CUT,
+        )
+        .unwrap();
+    let pristine = sink.contents().expect("run must have checkpointed");
+
+    let mut damage_rng = Prng::seed_from_u64(4802);
+    for round in 0..6 {
+        // Re-damage the pristine frame each round (a fallback run will
+        // have overwritten the sink with fresh valid checkpoints).
+        let bad = loop {
+            let bad = random_damage(&mut damage_rng, &pristine);
+            if bad != pristine {
+                break bad;
+            }
+        };
+        sink.set(Some(bad));
+        let broker = Broker::with_config(&oracle, BrokerConfig::default());
+        let (report, status) = dec
+            .resume(
+                g,
+                &broker,
+                &mut Prng::seed_from_u64(4801),
+                &sink,
+                CheckpointPolicy::EVERY_CUT,
+            )
+            .unwrap();
+        assert!(
+            matches!(status, ResumeStatus::FellBack { .. }),
+            "round {round}: damaged checkpoint must fall back, got {status:?}"
+        );
+        assert_eq!(
+            report.key, reference.key,
+            "round {round}: fallback run diverged from the reference"
+        );
+    }
 }

@@ -1180,4 +1180,74 @@ mod tests {
         }
         assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), -5.0);
     }
+
+    #[test]
+    fn effective_weight_cache_invalidates_on_same_step_weight_and_key_mutation() {
+        use crate::op::WeightLock;
+        // Regression guard for the hardest invalidation case: the weight
+        // AND the key change between two passes, in either order, with no
+        // pass in between to observe the intermediate generation.
+        let mut gb = GraphBuilder::new();
+        let x = gb.input(2);
+        let lin = gb
+            .add(
+                Op::Linear {
+                    w: Tensor::from_rows(&[&[2.0, 1.0]]),
+                    b: Tensor::zeros([1]),
+                    weight_locks: vec![WeightLock {
+                        row: 0,
+                        col: 0,
+                        slot: KeySlot(0),
+                    }],
+                },
+                &[x],
+            )
+            .unwrap();
+        let mut g = gb.build(lin).unwrap();
+        let mut keys = KeyAssignment::from_bits(&[false]);
+        let xin = Tensor::from_slice(&[1.0, 0.0]);
+        let mut ws = Workspace::new();
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), 2.0);
+        // Weight first, then key, then one pass.
+        {
+            let (w, _) = g.params_mut(NodeId(1)).unwrap();
+            w.set2(0, 0, 3.0);
+        }
+        keys.set_bit(KeySlot(0), true);
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), -3.0);
+        // Key first, then weight, then one pass.
+        keys.set_bit(KeySlot(0), false);
+        {
+            let (w, _) = g.params_mut(NodeId(1)).unwrap();
+            w.set2(0, 0, 4.0);
+        }
+        assert_eq!(g.logits_batch_into(&mut ws, &xin, &keys).get2(0, 0), 4.0);
+        // A cloned assignment shares the parent's generation stamp while
+        // values are equal; a pooled workspace primed by the clone must
+        // still see the parent's later same-step mutations.
+        let pool = crate::WorkspacePool::new();
+        let snapshot = keys.clone();
+        {
+            let mut pws = pool.acquire();
+            assert_eq!(
+                g.logits_batch_into(&mut pws, &xin, &snapshot).get2(0, 0),
+                4.0
+            );
+        }
+        {
+            let (w, _) = g.params_mut(NodeId(1)).unwrap();
+            w.set2(0, 0, 6.0);
+        }
+        keys.set_bit(KeySlot(0), true);
+        {
+            let mut pws = pool.acquire();
+            assert_eq!(g.logits_batch_into(&mut pws, &xin, &keys).get2(0, 0), -6.0);
+            // And the untouched clone still evaluates under its own (old)
+            // key value with the new weights.
+            assert_eq!(
+                g.logits_batch_into(&mut pws, &xin, &snapshot).get2(0, 0),
+                6.0
+            );
+        }
+    }
 }

@@ -58,6 +58,7 @@ mod jvp;
 mod key;
 mod op;
 mod plan;
+mod pool;
 mod serial;
 
 pub use exec::{Activations, Gradients};
@@ -65,4 +66,5 @@ pub use graph::{Graph, GraphBuilder, GraphError, LockSite, Node, NodeId};
 pub use key::{KeyAssignment, KeySlot, UnitLayout};
 pub use op::{Op, Saved, WeightLock};
 pub use plan::{ExecPlan, Workspace};
+pub use pool::{PooledWorkspace, WorkspacePool};
 pub use serial::SerialError;

@@ -7,12 +7,11 @@
 //! query-complexity column of Table 1.
 
 use crate::key::Key;
-use relock_graph::{Graph, KeyAssignment, SerialError, Workspace};
+use relock_graph::{Graph, KeyAssignment, SerialError, WorkspacePool};
 use relock_tensor::Tensor;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Failures of the fallible oracle surface.
@@ -308,7 +307,7 @@ pub struct CountingOracle {
     keys: KeyAssignment,
     mode: OutputMode,
     counter: AtomicU64,
-    pool: Mutex<Vec<Workspace>>,
+    pool: WorkspacePool,
 }
 
 impl CountingOracle {
@@ -319,7 +318,7 @@ impl CountingOracle {
             keys: model.true_key().to_assignment(),
             mode: OutputMode::Logits,
             counter: AtomicU64::new(0),
-            pool: Mutex::new(Vec::new()),
+            pool: WorkspacePool::new(),
         }
     }
 
@@ -356,34 +355,23 @@ impl CountingOracle {
         self.counter.fetch_add(rows, Ordering::Relaxed);
     }
 
-    /// Checks a workspace out of the pool (or makes a fresh one the first
-    /// time a thread finds the pool empty). The lock is held only for the
-    /// pop, never across the forward pass.
-    fn checkout(&self) -> Workspace {
-        self.pool
-            .lock()
-            .expect("workspace pool poisoned")
-            .pop()
-            .unwrap_or_default()
-    }
-
-    fn check_in(&self, ws: Workspace) {
-        self.pool.lock().expect("workspace pool poisoned").push(ws);
-    }
-
     /// Workspaces currently parked in the pool (diagnostics; equals the
     /// peak number of concurrent queriers once traffic quiesces).
     pub fn pooled_workspaces(&self) -> usize {
-        self.pool.lock().expect("workspace pool poisoned").len()
+        self.pool.idle_count()
     }
 }
 
 impl Oracle for CountingOracle {
     fn query_batch(&self, x: &Tensor) -> Tensor {
         self.add_queries(x.dims()[0] as u64);
-        let mut ws = self.checkout();
+        // The RAII guard returns the workspace to the shared pool on drop,
+        // so the per-node buffers of the forward pass are reused across
+        // the attack's queries (and its lock is held only for the
+        // check-out/check-in, never across the pass).
+        let mut ws = self.pool.acquire();
         let logits = self.graph.logits_batch_into(&mut ws, x, &self.keys);
-        let out = match self.mode {
+        match self.mode {
             OutputMode::Logits => logits.clone(),
             OutputMode::Softmax => {
                 let (b, q) = (logits.dims()[0], logits.dims()[1]);
@@ -394,9 +382,7 @@ impl Oracle for CountingOracle {
                 }
                 Tensor::from_vec(out, [b, q])
             }
-        };
-        self.check_in(ws);
-        out
+        }
     }
 
     fn query_count(&self) -> u64 {

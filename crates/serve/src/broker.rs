@@ -22,12 +22,15 @@
 //! any harness without inflating Table 1.
 
 use crate::budget::QueryBudget;
-use crate::cache::{row_key, MemoCache};
+use crate::cache::{row_key, MemoCache, RowKey};
+use crate::flight::{Claim, FlightEntry, FlightTable};
 use crate::pool::evaluate_sharded;
 use crate::retry::RetryPolicy;
 use crate::stats::{QueryStats, QueryStatsSnapshot};
 use relock_locking::{Oracle, OracleError};
 use relock_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunables of a [`Broker`].
@@ -66,6 +69,7 @@ pub struct Broker<O> {
     inner: O,
     config: BrokerConfig,
     cache: MemoCache,
+    flights: Arc<FlightTable>,
     budget: QueryBudget,
     stats: QueryStats,
 }
@@ -82,6 +86,7 @@ impl<O: Oracle> Broker<O> {
         Broker {
             inner,
             cache: MemoCache::new(),
+            flights: Arc::new(FlightTable::new()),
             budget: QueryBudget::new(config.max_queries, config.deadline),
             stats: QueryStats::new(),
             config,
@@ -129,64 +134,92 @@ impl<O: Oracle> Broker<O> {
             return Ok(y);
         }
 
-        // Stage 1: cache lookup + in-batch dedupe. `plan[r]` says where row
-        // r's response comes from: the cache, or miss slot i.
-        enum Source {
-            Cached(Box<[f64]>),
-            Miss(usize),
-        }
-        let mut plan = Vec::with_capacity(rows);
-        let mut miss_rows: Vec<f64> = Vec::new();
-        let mut miss_keys = Vec::new();
-        let mut miss_index = std::collections::HashMap::new();
-        for r in 0..rows {
-            let row = &x.as_slice()[r * cols..(r + 1) * cols];
-            let key = row_key(row);
-            if let Some(hit) = self.cache.get(&key) {
-                plan.push(Source::Cached(hit));
-            } else {
-                let slot = *miss_index.entry(key.clone()).or_insert_with(|| {
-                    miss_rows.extend_from_slice(row);
-                    miss_keys.push(key);
-                    miss_keys.len() - 1
-                });
-                plan.push(Source::Miss(slot));
+        // Stage 1: cache lookup, in-batch dedupe, and single-flight
+        // coalescing against concurrent batches. Each round classifies the
+        // still-unresolved rows as cache hits, in-batch duplicates (free,
+        // like before), *owned* misses (this call claimed the row's flight
+        // and will dispatch it), or *foreign* misses (another thread is
+        // dispatching the same row right now — wait, then re-resolve; the
+        // owner publishes to the cache before completing its flight, so a
+        // successful flight turns the next round's lookup into a hit). The
+        // round structure is deadlock-free because owned flights are always
+        // completed (guards dropped) before any waiting happens.
+        let mut resolved: Vec<Option<Box<[f64]>>> = (0..rows).map(|_| None).collect();
+        let mut hits = 0u64;
+        let mut underlying = 0u64;
+        let mut pending: Vec<usize> = (0..rows).collect();
+        while !pending.is_empty() {
+            let mut miss_rows: Vec<f64> = Vec::new();
+            let mut miss_keys: Vec<RowKey> = Vec::new();
+            let mut owned_rows: Vec<usize> = Vec::new();
+            let mut dups: Vec<(usize, usize)> = Vec::new();
+            let mut slot_of: HashMap<RowKey, usize> = HashMap::new();
+            let mut guards = Vec::new();
+            let mut waiting: Vec<(usize, Arc<FlightEntry>)> = Vec::new();
+            for &r in &pending {
+                let row = &x.as_slice()[r * cols..(r + 1) * cols];
+                let key = row_key(row);
+                if let Some(hit) = self.cache.get(&key) {
+                    hits += 1;
+                    resolved[r] = Some(hit);
+                    continue;
+                }
+                if let Some(&slot) = slot_of.get(&key) {
+                    hits += 1;
+                    dups.push((r, slot));
+                    continue;
+                }
+                match self.flights.claim(key.clone()) {
+                    Claim::Owner(guard) => {
+                        guards.push(guard);
+                        slot_of.insert(key.clone(), miss_keys.len());
+                        owned_rows.push(r);
+                        miss_rows.extend_from_slice(row);
+                        miss_keys.push(key);
+                    }
+                    Claim::Waiter(entry) => waiting.push((r, entry)),
+                }
             }
-        }
 
-        // Stages 2–3: only unique misses are charged and dispatched.
-        let misses = miss_keys.len();
-        let miss_out = if misses > 0 {
-            self.budget.try_reserve(misses as u64)?;
-            let mx = Tensor::from_vec(miss_rows, [misses, cols]);
-            let my = self.dispatch(&mx)?;
-            for (i, key) in miss_keys.into_iter().enumerate() {
-                self.cache.insert(key, my.row(i).into());
+            // Stages 2–3: only owned unique misses are charged and
+            // dispatched. An early return (budget, backend error) drops the
+            // guards, releasing waiters to re-claim.
+            let misses = miss_keys.len();
+            if misses > 0 {
+                self.budget.try_reserve(misses as u64)?;
+                let mx = Tensor::from_vec(std::mem::take(&mut miss_rows), [misses, cols]);
+                let my = self.dispatch(&mx)?;
+                for (i, key) in miss_keys.into_iter().enumerate() {
+                    self.cache.insert(key, my.row(i).into());
+                }
+                underlying += misses as u64;
+                for (slot, &r) in owned_rows.iter().enumerate() {
+                    resolved[r] = Some(my.row(slot).into());
+                }
+                for (r, slot) in dups {
+                    resolved[r] = Some(my.row(slot).into());
+                }
             }
-            Some(my)
-        } else {
-            None
-        };
+            drop(guards); // publish completions before waiting on anyone
+
+            for (_, entry) in &waiting {
+                entry.wait();
+            }
+            pending = waiting.into_iter().map(|(r, _)| r).collect();
+        }
 
         // Reassemble in request order.
         let mut out = Vec::with_capacity(rows * q);
-        for source in &plan {
-            match source {
-                Source::Cached(row) => out.extend_from_slice(row),
-                Source::Miss(i) => {
-                    out.extend_from_slice(miss_out.as_ref().expect("misses dispatched").row(*i));
-                }
-            }
+        for source in &resolved {
+            out.extend_from_slice(source.as_ref().expect("every row resolved"));
         }
 
-        // Stage 4: hits = everything not sent to the backend, so duplicate
-        // rows within the batch count as hits too.
-        self.stats.record_batch(
-            rows as u64,
-            (rows - misses) as u64,
-            misses as u64,
-            started.elapsed(),
-        );
+        // Stage 4: hits = everything not sent to the backend by *this*
+        // call — duplicate rows within the batch and rows dispatched by a
+        // concurrent owner count as hits, exactly what a sequential
+        // interleaving of the same batches would have recorded.
+        self.stats
+            .record_batch(rows as u64, hits, underlying, started.elapsed());
         Ok(Tensor::from_vec(out, [rows, q]))
     }
 
@@ -337,6 +370,134 @@ mod tests {
         broker.query_batch(&x);
         assert_eq!(o.query_count(), 4);
         assert_eq!(broker.snapshot().cache_hits, 0);
+    }
+
+    /// A deterministic backend that stalls each dispatch long enough to
+    /// force concurrent misses to overlap, and optionally fails the first
+    /// few dispatches outright.
+    #[derive(Debug)]
+    struct SlowOracle {
+        calls: std::sync::atomic::AtomicU64,
+        rows: std::sync::atomic::AtomicU64,
+        fail_first: u64,
+        stall: Duration,
+    }
+
+    impl SlowOracle {
+        fn new(stall: Duration, fail_first: u64) -> Self {
+            SlowOracle {
+                calls: 0.into(),
+                rows: 0.into(),
+                fail_first,
+                stall,
+            }
+        }
+    }
+
+    impl relock_locking::Oracle for SlowOracle {
+        fn query_batch(&self, x: &Tensor) -> Tensor {
+            self.try_query_batch(x).expect("scheduled failure")
+        }
+
+        fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+            use std::sync::atomic::Ordering;
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(self.stall);
+            if call < self.fail_first {
+                return Err(OracleError::Backend {
+                    message: "scheduled failure".into(),
+                    attempts: 1,
+                });
+            }
+            let rows = x.dims()[0];
+            self.rows.fetch_add(rows as u64, Ordering::SeqCst);
+            // Echo the first element of each row so responses are checkable.
+            let out: Vec<f64> = (0..rows).map(|r| x.get2(r, 0) + 1.0).collect();
+            Ok(Tensor::from_vec(out, [rows, 1]))
+        }
+
+        fn query_count(&self) -> u64 {
+            self.rows.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn input_dim(&self) -> usize {
+            2
+        }
+
+        fn output_dim(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_misses_coalesce_into_one_underlying_query() {
+        let o = SlowOracle::new(Duration::from_millis(20), 0);
+        let broker = Broker::new(&o);
+        let x = Tensor::from_vec(vec![0.5, 0.25], [1, 2]);
+        let n = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let broker = &broker;
+                let x = &x;
+                scope.spawn(move || {
+                    let y = broker.query_batch(x);
+                    assert_eq!(y.get2(0, 0), 1.5);
+                });
+            }
+        });
+        assert_eq!(
+            o.query_count(),
+            1,
+            "eight concurrent identical misses → one real query"
+        );
+        let snap = broker.snapshot();
+        assert_eq!(snap.requested, n);
+        assert_eq!(snap.underlying, 1);
+        assert_eq!(snap.cache_hits, n - 1, "waiters account as cache hits");
+        assert!(snap.is_balanced());
+    }
+
+    #[test]
+    fn failed_owner_releases_waiters_who_retake_the_flight() {
+        // No retries at the broker level: the first owner's dispatch fails
+        // outright, its waiters must wake, re-claim, and succeed.
+        let o = SlowOracle::new(Duration::from_millis(10), 1);
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                retry: RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        );
+        let x = Tensor::from_vec(vec![2.0, 0.0], [1, 2]);
+        let n = 6;
+        let failures = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let broker = &broker;
+                let x = &x;
+                let failures = &failures;
+                scope.spawn(move || match broker.try_query_batch(x) {
+                    Ok(y) => assert_eq!(y.get2(0, 0), 3.0),
+                    Err(OracleError::Backend { .. }) => {
+                        failures.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                });
+            }
+        });
+        assert_eq!(
+            failures.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "exactly the scheduled failure surfaced, to exactly one caller"
+        );
+        assert_eq!(o.query_count(), 1, "one successful underlying query");
+        let snap = broker.snapshot();
+        assert_eq!(snap.underlying, 1);
+        assert!(snap.is_balanced());
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod broker;
 mod budget;
 mod cache;
 mod chaos;
+mod flight;
 mod pool;
 mod retry;
 mod stats;

@@ -171,6 +171,18 @@ impl QueryStatsSnapshot {
         }
     }
 
+    /// Whether the accounting books balance: every requested row was served
+    /// either from cache or by the backend — globally *and* within every
+    /// procedure scope. A lost or double-counted row under concurrency
+    /// breaks this; the soak suites assert it after parallel runs.
+    pub fn is_balanced(&self) -> bool {
+        self.requested == self.cache_hits + self.underlying
+            && self
+                .per_scope
+                .iter()
+                .all(|(_, c)| c.requested == c.cache_hits + c.underlying)
+    }
+
     /// Mean requested rows per broker batch (0 when idle).
     pub fn mean_batch_rows(&self) -> f64 {
         if self.batches == 0 {

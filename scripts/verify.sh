@@ -12,6 +12,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# Thread matrix: AttackConfig::default() honours RELOCK_THREADS, so the
+# same suites re-run with the sharded engine at 4 workers — bit-identical
+# by contract — both under the harness's own test parallelism and
+# serially (the serial pass isolates any cross-test interference).
+echo "==> cargo test -q (RELOCK_THREADS=4)"
+RELOCK_THREADS=4 cargo test --workspace -q
+
+echo "==> cargo test -q (RELOCK_THREADS=4, --test-threads=1)"
+RELOCK_THREADS=4 cargo test --workspace -q -- --test-threads=1
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -4,6 +4,7 @@
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
+//!                [--threads N]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! ```
 //!
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
     );
     ExitCode::from(2)
 }
@@ -253,6 +254,11 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
         AttackConfig::default()
     };
     cfg.continue_on_failure = true;
+    let threads = args.u64_value("threads", cfg.threads as u64)? as usize;
+    if threads == 0 {
+        return Err("--threads expects a count >= 1".into());
+    }
+    cfg.threads = threads;
     cfg.query_budget = match args.value("budget") {
         Some(s) => Some(s.parse().map_err(|_| "--budget expects a number")?),
         None => match args.flag("budget") {
