@@ -1,0 +1,94 @@
+//! The unified bench report: runs the engine, attack, parallel, and soak
+//! measurements in one process, writes a schema-versioned `BENCH.json`,
+//! and optionally diffs it against a committed baseline.
+//!
+//! ```text
+//! report [--out BENCH.json] [--repeats N] [--diff BASELINE.json]
+//!        [--time-tolerance FRACTION] [--time-warn-only]
+//! ```
+//!
+//! With `--diff`, the exit code is non-zero on any hard failure: schema
+//! mismatch, a benchmark missing from the current run, or **any** change
+//! in a query count (those are deterministic; drift means the engine's
+//! traffic changed and the baseline must be deliberately refreshed).
+//! Time regressions beyond the tolerance fail too, unless
+//! `--time-warn-only` (the CI mode — shared runners are noisy).
+
+use relock_bench::report::{diff, run_report, BenchDoc};
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH.json".to_string());
+    let repeats: usize = flag_value(&args, "--repeats")
+        .map(|s| s.parse().expect("--repeats expects an integer"))
+        .unwrap_or(3);
+    let baseline_path = flag_value(&args, "--diff");
+    let time_tolerance: f64 = flag_value(&args, "--time-tolerance")
+        .map(|s| s.parse().expect("--time-tolerance expects a number"))
+        .unwrap_or(0.5);
+    let time_warn_only = args.iter().any(|a| a == "--time-warn-only");
+
+    let doc = run_report(repeats);
+    for e in &doc.entries {
+        let extras = match (e.queries, e.cache_hit_rate) {
+            (Some(q), Some(r)) => format!(", {q} queries, {:.1}% cache hits", r * 100.0),
+            (Some(q), None) => format!(", {q} queries"),
+            _ => String::new(),
+        };
+        println!(
+            "{:<32} {:>12.3} {} (spread {:.3} over {} repeats{extras})",
+            e.name, e.median, e.unit, e.spread, e.repeats
+        );
+    }
+    std::fs::write(&out_path, doc.to_json()).expect("write BENCH.json");
+    println!("wrote {out_path} (schema v{})", doc.schema_version);
+
+    let Some(baseline_path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match BenchDoc::parse(&baseline_text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: cannot parse baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = diff(&doc, &baseline, time_tolerance, time_warn_only);
+    for note in &outcome.notes {
+        println!("note: {note}");
+    }
+    for warning in &outcome.warnings {
+        println!("WARN: {warning}");
+    }
+    for failure in &outcome.failures {
+        eprintln!("FAIL: {failure}");
+    }
+    if outcome.is_ok() {
+        println!(
+            "benchdiff vs {baseline_path} (baseline rev {}): OK",
+            baseline.git_rev
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "benchdiff vs {baseline_path}: {} failure(s) — if the query-count change is intentional, refresh the baseline (see README)",
+            outcome.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

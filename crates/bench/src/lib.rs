@@ -33,6 +33,8 @@ use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::time::Instant;
 
+pub mod report;
+
 /// The four victim architectures of §4.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arch {

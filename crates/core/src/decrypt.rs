@@ -388,6 +388,7 @@ impl Decryptor {
         };
 
         for li in start_layer..layers.len() {
+            let _layer_span = relock_trace::span("attack.layer", li as u64);
             let (keyed_node, layer_sites) = &layers[li];
             let mut report = LayerReport {
                 keyed_node: *keyed_node,
@@ -703,6 +704,7 @@ impl Decryptor {
                 let mut applied: Option<Vec<usize>> = None;
                 let mut ci = correction_from;
                 while ci < candidates.len() && applied.is_none() && !starved {
+                    let _wave_span = relock_trace::span("attack.wave", ci as u64);
                     if let Some(w) = writer.as_mut() {
                         w.write(false, oracle.query_count() - start_queries, || {
                             make_state(
@@ -969,6 +971,7 @@ fn run_sharded<T: Send>(
 ) -> Vec<T> {
     let workers = threads.min(n);
     if workers <= 1 {
+        let _worker_span = relock_trace::span("attack.worker", 0);
         let mut ws = pool.acquire();
         return (0..n).map(|i| eval(i, &mut ws)).collect();
     }
@@ -976,10 +979,11 @@ fn run_sharded<T: Send>(
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let eval = &eval;
                 scope.spawn(move || {
+                    let _worker_span = relock_trace::span("attack.worker", w as u64);
                     // Workspaces are never shared across threads; one
                     // pooled workspace per worker amortizes over all the
                     // items it pulls and is returned for later phases.
@@ -1045,9 +1049,11 @@ impl CkptWriter<'_> {
         if !force && rows_now.saturating_sub(self.last_rows) < self.policy.every_queries {
             return Ok(());
         }
+        let bytes = build().encode();
         self.sink
-            .save(&build().encode())
+            .save(&bytes)
             .map_err(|e| AttackError::Checkpoint(CheckpointError::Io(e.to_string())))?;
+        relock_trace::counter("checkpoint.write", bytes.len() as u64);
         self.last_rows = rows_now;
         Ok(())
     }

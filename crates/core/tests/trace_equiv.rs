@@ -1,0 +1,237 @@
+//! No-overhead / no-feedback contract of the trace layer: a fully
+//! instrumented MLP-16 attack run under a `NullRecorder` — or a real
+//! `FlightRecorder` — must be bit-identical to the un-instrumented path:
+//! same key, same underlying query count, same broker accounting, same
+//! checkpoint frames byte-for-byte (wall-clock fields zeroed), at 1 and 4
+//! threads. Tracing observes the engine; it must never steer it.
+//!
+//! This file is its own test binary on purpose: the recorder is a process
+//! global, so installs here can't leak into other suites, and the tests
+//! below serialize among themselves with a lock.
+
+use relock_attack::{
+    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, DecryptionReport, Decryptor,
+};
+use relock_locking::{CountingOracle, LockSpec, LockedModel};
+use relock_nn::{build_mlp, MlpSpec};
+use relock_serve::{Broker, BrokerConfig, QueryStatsSnapshot};
+use relock_tensor::rng::Prng;
+use relock_trace::{Event, FlightRecorder, NullRecorder};
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Serializes recorder installs across the tests in this binary — the
+/// recorder is process-global state.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn mlp16_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(700);
+    build_mlp(
+        &MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        },
+        LockSpec::evenly(16),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+#[derive(Default)]
+struct RecordingSink {
+    frames: Mutex<Vec<Vec<u8>>>,
+}
+
+impl RecordingSink {
+    fn frames(&self) -> Vec<Vec<u8>> {
+        self.frames.lock().expect("sink poisoned").clone()
+    }
+}
+
+impl CheckpointSink for RecordingSink {
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        self.frames
+            .lock()
+            .expect("sink poisoned")
+            .push(bytes.to_vec());
+        Ok(())
+    }
+
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.frames.lock().expect("sink poisoned").last().cloned())
+    }
+}
+
+/// Re-encodes a frame with wall-clock fields zeroed; everything else must
+/// be deterministic and is compared byte-for-byte.
+fn normalize_frame(frame: &[u8]) -> Vec<u8> {
+    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
+    st.timing_nanos = [0; 4];
+    st.stats.oracle_time = Duration::ZERO;
+    st.encode()
+}
+
+fn strip_clock(stats: &QueryStatsSnapshot) -> QueryStatsSnapshot {
+    let mut s = stats.clone();
+    s.oracle_time = Duration::ZERO;
+    s
+}
+
+struct RunTrace {
+    report: DecryptionReport,
+    frames: Vec<Vec<u8>>,
+}
+
+fn run(model: &LockedModel, threads: usize) -> RunTrace {
+    let cfg = AttackConfig {
+        threads,
+        ..AttackConfig::fast()
+    };
+    let oracle = CountingOracle::new(model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let sink = RecordingSink::default();
+    let (report, _status) = Decryptor::new(cfg)
+        .resume(
+            model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(701),
+            &sink,
+            CheckpointPolicy::EVERY_CUT,
+        )
+        .unwrap();
+    RunTrace {
+        report,
+        frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
+    }
+}
+
+fn assert_same_run(a: &RunTrace, b: &RunTrace, ctx: &str) {
+    assert_eq!(a.report.key, b.report.key, "{ctx}: recovered key diverged");
+    assert_eq!(
+        a.report.queries, b.report.queries,
+        "{ctx}: underlying query count diverged"
+    );
+    assert_eq!(
+        strip_clock(&a.report.stats),
+        strip_clock(&b.report.stats),
+        "{ctx}: broker accounting diverged"
+    );
+    assert_eq!(
+        a.frames.len(),
+        b.frames.len(),
+        "{ctx}: checkpoint cadence diverged"
+    );
+    for (i, (fa, fb)) in a.frames.iter().zip(&b.frames).enumerate() {
+        assert_eq!(fa, fb, "{ctx}: checkpoint frame {i} is not byte-identical");
+    }
+}
+
+/// The headline contract: un-instrumented vs `NullRecorder` vs
+/// `FlightRecorder`, at 1 and 4 threads, all bit-identical — and the
+/// flight recorder must have actually captured the instrumentation it was
+/// installed to observe (a trivially-empty trace would prove nothing).
+#[test]
+fn instrumented_attack_is_bit_identical_to_uninstrumented() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let model = mlp16_victim();
+    for threads in [1usize, 4] {
+        let bare = run(&model, threads);
+        assert_eq!(
+            bare.report.fidelity(model.true_key()),
+            1.0,
+            "threads {threads}: reference run must recover the key exactly"
+        );
+        assert!(!bare.frames.is_empty(), "EVERY_CUT must persist frames");
+
+        let null = relock_trace::with_recorder(Arc::new(NullRecorder), || run(&model, threads));
+        assert_same_run(&null, &bare, &format!("NullRecorder threads {threads}"));
+
+        let flight = Arc::new(FlightRecorder::new());
+        let traced = relock_trace::with_recorder(flight.clone(), || run(&model, threads));
+        assert_same_run(&traced, &bare, &format!("FlightRecorder threads {threads}"));
+
+        // The trace must cover every instrumented subsystem of this run.
+        for label in ["attack.layer", "broker.batch", "proc.key_bit_inference"] {
+            assert!(
+                flight.span_count(label) > 0,
+                "threads {threads}: no '{label}' span captured"
+            );
+        }
+        let checkpoint_writes = flight
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Counter { label, .. } if label == "checkpoint.write"))
+            .count();
+        assert_eq!(
+            checkpoint_writes,
+            traced.frames.len(),
+            "threads {threads}: one checkpoint.write counter per persisted frame"
+        );
+        assert_eq!(
+            flight.counter_total("broker.requested"),
+            traced.report.stats.requested,
+            "threads {threads}: trace books must match the broker snapshot"
+        );
+        assert!(
+            flight.span_count("attack.worker") > 0,
+            "threads {threads}: no shard-worker span captured"
+        );
+        // Every begin has exactly one end: the guards all fired.
+        let (begins, ends) = flight
+            .events()
+            .iter()
+            .fold((0usize, 0usize), |(b, e), ev| match ev {
+                Event::SpanBegin { .. } => (b + 1, e),
+                Event::SpanEnd { .. } => (b, e + 1),
+                Event::Counter { .. } => (b, e),
+            });
+        assert_eq!(begins, ends, "threads {threads}: unbalanced span guards");
+    }
+}
+
+/// Uninstalling mid-process restores the bare path: events stop flowing
+/// and the engine still replays the identical run.
+#[test]
+fn uninstall_restores_the_bare_path() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let model = mlp16_victim();
+    let bare = run(&model, 1);
+    let flight = Arc::new(FlightRecorder::new());
+    relock_trace::install(flight.clone());
+    assert!(
+        relock_trace::enabled(),
+        "install must arm the hot-path flag"
+    );
+    let _installed = relock_trace::uninstall().expect("a recorder was installed");
+    assert!(!relock_trace::enabled(), "uninstall must disarm it");
+    let after = run(&model, 1);
+    assert_same_run(&after, &bare, "post-uninstall");
+    assert!(
+        flight.is_empty(),
+        "no events may arrive after uninstall: {:?}",
+        flight.events().first()
+    );
+}
+
+/// The JSONL a real attack writes round-trips losslessly: every line
+/// parses back to the event that produced it, and re-encoding is
+/// byte-identical — the property `--trace` files rely on.
+#[test]
+fn captured_attack_trace_round_trips_through_jsonl() {
+    let _guard = RECORDER_LOCK.lock().unwrap();
+    let model = mlp16_victim();
+    let flight = Arc::new(FlightRecorder::new());
+    relock_trace::with_recorder(flight.clone(), || run(&model, 1));
+    let events = flight.events();
+    assert!(!events.is_empty());
+    let jsonl = flight.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), events.len());
+    for (line, event) in lines.iter().zip(&events) {
+        let parsed = Event::from_jsonl(line).expect("captured line must parse");
+        assert_eq!(&parsed, event);
+        assert_eq!(parsed.to_jsonl(), *line, "re-encode must be byte-equal");
+    }
+}

@@ -123,6 +123,7 @@ impl<O: Oracle> Broker<O> {
     fn serve_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
         let started = Instant::now();
         let rows = x.dims()[0];
+        let _batch_span = relock_trace::span("broker.batch", rows as u64);
         let cols = x.dims()[1];
         let q = self.inner.output_dim();
 

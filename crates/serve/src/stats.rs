@@ -96,11 +96,28 @@ impl QueryStats {
         entry.requested += requested;
         entry.cache_hits += hits;
         entry.underlying += underlying;
+        // Trace events are emitted here, where the scope label is in hand,
+        // so the flight-recorder totals and this snapshot's books agree at
+        // every call site by construction (the chaos soak cross-checks it).
+        if relock_trace::enabled() {
+            relock_trace::scoped_counter("broker.requested", label, requested);
+            if hits > 0 {
+                relock_trace::scoped_counter("broker.cache_hits", label, hits);
+            }
+            if underlying > 0 {
+                relock_trace::scoped_counter("broker.underlying", label, underlying);
+            }
+        }
     }
 
     /// Records `n` backend retry attempts (beyond the first try).
     pub fn record_retries(&self, n: u64) {
         self.retries.fetch_add(n, Ordering::Relaxed);
+        if relock_trace::enabled() {
+            let scope = self.scope.lock().expect("scope poisoned");
+            let label = scope.current.unwrap_or("(untagged)");
+            relock_trace::scoped_counter("broker.retry", label, n);
+        }
     }
 
     /// Records `n` deliberately injected faults (chaos testing). Kept
@@ -108,6 +125,7 @@ impl QueryStats {
     /// apart from organic backend trouble.
     pub fn record_injected_faults(&self, n: u64) {
         self.injected_faults.fetch_add(n, Ordering::Relaxed);
+        relock_trace::counter("chaos.injected", n);
     }
 
     /// Rows actually issued to the underlying oracle so far.

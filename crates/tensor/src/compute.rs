@@ -129,6 +129,7 @@ pub fn gemm_nn_into_with(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm.nn", 1);
     for_each_row_block(out, m, n, workers, |lo, block| {
         for (bi, out_row) in block.chunks_mut(n).enumerate() {
             let i = lo + bi;
@@ -190,6 +191,7 @@ pub fn gemm_nt_into_with(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm.nt", 1);
     for_each_row_block(out, m, n, workers, |lo, block| {
         for (bi, out_row) in block.chunks_mut(n).enumerate() {
             let i = lo + bi;
@@ -272,6 +274,7 @@ pub fn gemm_tn_into_with(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm.tn", 1);
     for_each_row_block(out, m, n, workers, |lo, block| {
         let rows = block.len() / n.max(1);
         block.fill(0.0);

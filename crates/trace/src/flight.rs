@@ -1,0 +1,191 @@
+//! The [`FlightRecorder`]: an in-memory event buffer that drains to
+//! JSONL — install it, run the instrumented workload, write the trace.
+
+use crate::{Event, Recorder};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Buffers every recorded event in arrival order behind one mutex.
+///
+/// Arrival order is the recorder's only ordering guarantee: events from
+/// concurrent worker threads interleave as the lock admits them, while
+/// each span's begin still precedes its end. Counter *totals* are exact
+/// regardless of interleaving — that is what the accounting cross-checks
+/// rely on.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    buf: Mutex<Vec<Event>>,
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("flight buffer poisoned").len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the buffered events, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().expect("flight buffer poisoned").clone()
+    }
+
+    /// Removes and returns the buffered events.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.buf.lock().expect("flight buffer poisoned"))
+    }
+
+    /// Sum of all counter events with `label`, across every scope.
+    pub fn counter_total(&self, label: &str) -> u64 {
+        self.buf
+            .lock()
+            .expect("flight buffer poisoned")
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter {
+                    label: l, value, ..
+                } if l == label => Some(*value),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Per-`(label, scope)` counter totals; unscoped counters appear under
+    /// scope `None`.
+    #[allow(clippy::type_complexity)]
+    pub fn counter_totals(&self) -> BTreeMap<(String, Option<String>), u64> {
+        let mut totals = BTreeMap::new();
+        for event in self.buf.lock().expect("flight buffer poisoned").iter() {
+            if let Event::Counter {
+                label,
+                scope,
+                value,
+                ..
+            } = event
+            {
+                *totals
+                    .entry((label.to_string(), scope.as_ref().map(|s| s.to_string())))
+                    .or_insert(0) += value;
+            }
+        }
+        totals
+    }
+
+    /// Number of spans opened with `label` (begin events).
+    pub fn span_count(&self, label: &str) -> usize {
+        self.buf
+            .lock()
+            .expect("flight buffer poisoned")
+            .iter()
+            .filter(|e| matches!(e, Event::SpanBegin { label: l, .. } if l == label))
+            .count()
+    }
+
+    /// The buffered events encoded as JSONL (one event per line, trailing
+    /// newline when non-empty). The buffer is left intact.
+    pub fn to_jsonl(&self) -> String {
+        let buf = self.buf.lock().expect("flight buffer poisoned");
+        let mut out = String::new();
+        for event in buf.iter() {
+            out.push_str(&event.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the buffered events as JSONL to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_jsonl().as_bytes())?;
+        file.flush()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: Event) {
+        self.buf.lock().expect("flight buffer poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+
+    fn counter(label: &'static str, scope: Option<&'static str>, value: u64) -> Event {
+        Event::Counter {
+            label: Label::Borrowed(label),
+            scope: scope.map(Label::Borrowed),
+            value,
+            t: 0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_per_label_and_scope() {
+        let rec = FlightRecorder::new();
+        rec.record(counter("gemm.nn", None, 1));
+        rec.record(counter("gemm.nn", None, 1));
+        rec.record(counter("broker.underlying", Some("learning_attack"), 40));
+        rec.record(counter("broker.underlying", Some("error_correction"), 2));
+        rec.record(Event::SpanBegin {
+            id: 1,
+            label: Label::Borrowed("attack.layer"),
+            arg: 0,
+            t: 0,
+        });
+        assert_eq!(rec.counter_total("gemm.nn"), 2);
+        assert_eq!(rec.counter_total("broker.underlying"), 42);
+        assert_eq!(rec.counter_total("absent"), 0);
+        assert_eq!(rec.span_count("attack.layer"), 1);
+        let totals = rec.counter_totals();
+        assert_eq!(
+            totals[&(
+                "broker.underlying".to_string(),
+                Some("learning_attack".to_string())
+            )],
+            40
+        );
+        assert_eq!(totals[&("gemm.nn".to_string(), None)], 2);
+    }
+
+    #[test]
+    fn jsonl_drain_round_trips_every_line() {
+        let rec = FlightRecorder::new();
+        rec.record(counter("checkpoint.write", None, 812));
+        rec.record(Event::SpanBegin {
+            id: 7,
+            label: Label::Borrowed("broker.batch"),
+            arg: 16,
+            t: 5,
+        });
+        rec.record(Event::SpanEnd {
+            id: 7,
+            label: Label::Borrowed("broker.batch"),
+            t: 9,
+        });
+        let text = rec.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let decoded: Vec<Event> = lines
+            .iter()
+            .map(|l| Event::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(decoded, rec.events());
+        // Re-encoding the decoded events reproduces the file byte-for-byte.
+        let reencoded: String = decoded.iter().map(|e| e.to_jsonl() + "\n").collect();
+        assert_eq!(reencoded, text);
+        assert_eq!(rec.drain().len(), 3);
+        assert!(rec.is_empty());
+    }
+}

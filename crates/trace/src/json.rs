@@ -1,0 +1,534 @@
+//! A minimal JSON document model shared by the trace JSONL encoding and
+//! the bench report (`BENCH.json`): parse and byte-stable re-emit with no
+//! dependencies.
+//!
+//! Two representation choices buy the round-trip guarantee the schema
+//! tests pin down:
+//!
+//! * numbers are kept as verbatim source tokens ([`Value::Num`] holds the
+//!   `String` as written) and are never reformatted, and
+//! * objects preserve key insertion (= source) order.
+//!
+//! So any document *produced by this module's emitters* survives a
+//! parse → re-emit cycle byte-for-byte. (Hand-written documents survive
+//! too as long as they already use the emitters' formatting conventions:
+//! minimal string escapes and canonical number tokens.)
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// A number kept as its verbatim source token, never reformatted.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Key/value pairs in insertion (= source) order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A number value with the canonical decimal token of `n`.
+    pub fn num_u64(n: u64) -> Value {
+        Value::Num(n.to_string())
+    }
+
+    /// A number value formatted with a fixed number of decimal places —
+    /// the deterministic float formatting every emitted document uses.
+    pub fn num_f64(v: f64, decimals: usize) -> Value {
+        Value::Num(format!("{v:.decimals$}"))
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is a number token.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Single-line emission (no whitespace) — the JSONL form.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        emit(self, None, 0, &mut out);
+        out
+    }
+
+    /// Multi-line emission with two-space indentation and a trailing
+    /// newline — the `BENCH.json` form.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        emit(self, Some(2), 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(src: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+fn emit(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(tok) => out.push_str(tok),
+        Value::Str(s) => emit_string(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                emit(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                emit_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Minimal escaping: the two mandatory escapes, the common whitespace
+/// escapes, and `\u00XX` for remaining control characters. The parser
+/// decodes all standard escapes, so emit(decode(s)) is stable.
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            pos: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(Value::Num(tok))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Run of plain bytes (no escape, no quote, no control chars).
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.error("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.error("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.error("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.error("invalid \\u escape"))?
+                }
+            }
+            _ => return Err(self.error("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip_is_byte_identical() {
+        let doc = Value::Obj(vec![
+            ("ev".into(), Value::str("count")),
+            ("label".into(), Value::str("gemm.nn")),
+            ("value".into(), Value::num_u64(3)),
+            ("rate".into(), Value::num_f64(0.5, 4)),
+            (
+                "nested".into(),
+                Value::Arr(vec![Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        let text = doc.to_compact();
+        let reparsed = Value::parse(&text).unwrap();
+        assert_eq!(reparsed, doc);
+        assert_eq!(reparsed.to_compact(), text);
+    }
+
+    #[test]
+    fn pretty_round_trip_is_byte_identical() {
+        let doc = Value::Obj(vec![
+            ("schema_version".into(), Value::num_u64(1)),
+            ("empty_obj".into(), Value::Obj(vec![])),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            (
+                "benchmarks".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    ("name".into(), Value::str("attack_mlp16")),
+                    ("median".into(), Value::num_f64(20.733, 3)),
+                ])]),
+            ),
+        ]);
+        let text = doc.to_pretty();
+        let reparsed = Value::parse(&text).unwrap();
+        assert_eq!(reparsed.to_pretty(), text);
+    }
+
+    #[test]
+    fn number_tokens_are_preserved_verbatim() {
+        let text = "[1.50, 2e3, -0.125, 10]";
+        let v = Value::parse(text).unwrap();
+        let items = v.as_arr().unwrap();
+        assert_eq!(items[0], Value::Num("1.50".into()));
+        assert_eq!(items[1], Value::Num("2e3".into()));
+        assert_eq!(items[0].as_f64(), Some(1.5));
+        assert_eq!(items[3].as_u64(), Some(10));
+    }
+
+    #[test]
+    fn string_escapes_decode_and_re_encode() {
+        let v = Value::parse(r#""a\tb\n\"q\" \\ \u0041 \ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\tb\n\"q\" \\ A \u{1F600}"));
+        let emitted = Value::str("ctl\u{1}").to_compact();
+        assert_eq!(emitted, r#""ctl\u0001""#);
+        assert_eq!(Value::parse(&emitted).unwrap().as_str(), Some("ctl\u{1}"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_position() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "{} x",
+        ] {
+            let err = Value::parse(bad).unwrap_err();
+            assert!(err.pos <= bad.len(), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = Value::parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.to_compact(), r#"{"z":1,"a":2}"#);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -35,4 +35,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> chaos soak (kill-and-resume bench)"
 cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
 
+# Unified bench report + benchdiff: fails on any query-count drift vs
+# the committed baseline (deterministic); local timing only warns, like
+# CI — gate on queries, not on this machine's clock.
+echo "==> bench report + benchdiff"
+cargo run -p relock-bench --release --bin report -q -- \
+  --out /tmp/relock-BENCH.json --repeats 1 \
+  --diff BENCH_baseline.json --time-warn-only
+
 echo "==> verify OK"

@@ -4,7 +4,7 @@
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
-//!                [--threads N]
+//!                [--threads N] [--trace events.jsonl]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! ```
 //!
@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
     );
     ExitCode::from(2)
 }
@@ -223,7 +223,29 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Wraps the attack with the flight recorder when `--trace <file>` is
+/// given: every structured event of the run (layer/wave/worker spans,
+/// broker per-scope counters, gemm and checkpoint counters) drains to the
+/// file as JSONL, even when the attack itself fails.
 fn cmd_attack(args: &Args) -> Result<(), String> {
+    let trace_path = match args.flag("trace") {
+        None => None,
+        Some(Some(path)) => Some(path.clone()),
+        Some(None) => return Err("--trace expects a file path".into()),
+    };
+    let Some(trace_path) = trace_path else {
+        return run_attack(args);
+    };
+    let flight = std::sync::Arc::new(relock_trace::FlightRecorder::new());
+    let result = relock_trace::with_recorder(flight.clone(), || run_attack(args));
+    flight
+        .write_jsonl(std::path::Path::new(&trace_path))
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    println!("wrote {} trace events to {trace_path}", flight.len());
+    result
+}
+
+fn run_attack(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("attack needs a model file")?;
     let seed = args.u64_value("seed", 7)?;
     let model = load_model(path)?;
