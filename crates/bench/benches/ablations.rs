@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in DESIGN.md §5.
+//! Ablation benches for the design choices called out in DESIGN.md §6.
 //!
 //! Run with `cargo bench -p relock-bench --bench ablations`.
 //!

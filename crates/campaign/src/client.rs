@@ -1,0 +1,53 @@
+//! A blocking client for the campaign daemon: one connection, one frame
+//! out, one frame back per call. Used by the `relock submit`/`status`/…
+//! CLI subcommands and the integration tests.
+
+use crate::proto::{read_frame, write_frame, ProtoError, Request};
+use crate::server::Stream;
+use relock_trace::json::Value;
+use std::io;
+
+/// A connected daemon client.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`tcp:HOST:PORT` or a Unix socket
+    /// path — the same syntax `relock serve --listen` takes).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and returns the daemon's response document
+    /// (`{"ok": true, ...}` or `{"ok": false, "error": ...}`).
+    pub fn call(&mut self, request: &Request) -> Result<Value, ProtoError> {
+        write_frame(&mut self.stream, &request.to_value())?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| ProtoError::Malformed("connection closed before the response".into()))
+    }
+
+    /// Like [`Client::call`] but unwraps `{"ok": true}` responses and
+    /// turns protocol-level errors into a readable message.
+    pub fn call_ok(&mut self, request: &Request) -> Result<Value, String> {
+        let response = self.call(request).map_err(|e| e.to_string())?;
+        match response.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(response),
+            _ => {
+                let error = response.get("error");
+                let code = error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown");
+                let message = error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("daemon returned an error");
+                Err(format!("{code}: {message}"))
+            }
+        }
+    }
+}

@@ -1,0 +1,1044 @@
+//! Campaign lifecycle: submit / status / pause / resume / cancel over a
+//! process-global query cache and a fair-share scheduler.
+//!
+//! A **campaign** is one long-running key-recovery attack hosted by the
+//! daemon: a locked model, a seed, a tenant, a budget, and (optionally) a
+//! chaos fault schedule. Each campaign runs on its own worker thread, but
+//! all campaigns share two process-global resources:
+//!
+//! - the [`SharedCache`] — memo table + single-flight table, byte-capped,
+//!   namespaced per model content hash so identical probes against the
+//!   same victim hit across campaigns while different victims never
+//!   collide;
+//! - the [`FairScheduler`] — a bounded pool of run slots granted to
+//!   tenants in proportion to their weight.
+//!
+//! The lifecycle rides the checkpoint layer. A running campaign executes
+//! in **segments**: each segment acquires a scheduler slot, builds a
+//! fresh broker over the shared cache, and drives
+//! `Decryptor::resume_session` with the campaign's halt flag as the pause
+//! signal. Pausing therefore costs nothing beyond what checkpointing
+//! already pays: a paused campaign *is* its last RLCP frame, which is why
+//! [`CampaignHub::checkpoint_bytes`] + [`CampaignHub::submit_checkpointed`]
+//! can migrate a half-finished campaign across a daemon restart and
+//! resume it bit-identically (the core crate's PRNG-stream discipline
+//! guarantees the recovered key matches an uninterrupted run).
+
+use crate::sched::FairScheduler;
+use relock_attack::{
+    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, Decryptor, FileCheckpointSink,
+    MemoryCheckpointSink, MonolithicAttack, MonolithicConfig, SessionOutcome,
+};
+use relock_locking::{CountingOracle, Key, LockedModel, Oracle, OracleError};
+use relock_serve::{
+    Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, QueryStatsSnapshot, RetryPolicy,
+};
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+use std::collections::HashMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the model's serialized bytes: the cache namespace. Content
+/// hashing (not campaign id) is deliberate — two campaigns attacking the
+/// same victim share cache entries, different victims cannot collide.
+fn model_namespace(model: &LockedModel) -> u64 {
+    let mut bytes = Vec::new();
+    model
+        .save(&mut bytes)
+        .expect("serializing to a Vec cannot fail");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The oracle a campaign queries: the victim model, optionally behind a
+/// deterministic chaos fault schedule.
+#[derive(Debug)]
+enum HostedOracle {
+    Plain(CountingOracle),
+    Chaos(ChaosOracle<CountingOracle>),
+}
+
+impl HostedOracle {
+    fn new(model: &LockedModel, chaos: Option<ChaosConfig>) -> Self {
+        let counting = CountingOracle::new(model);
+        match chaos {
+            Some(cfg) => HostedOracle::Chaos(ChaosOracle::new(counting, cfg)),
+            None => HostedOracle::Plain(counting),
+        }
+    }
+
+    fn crashes(&self) -> u64 {
+        match self {
+            HostedOracle::Plain(_) => 0,
+            HostedOracle::Chaos(c) => c.counters().crashes,
+        }
+    }
+}
+
+impl Oracle for HostedOracle {
+    fn query_batch(&self, x: &Tensor) -> Tensor {
+        match self {
+            HostedOracle::Plain(o) => o.query_batch(x),
+            HostedOracle::Chaos(o) => o.query_batch(x),
+        }
+    }
+
+    fn try_query_batch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
+        match self {
+            HostedOracle::Plain(o) => o.try_query_batch(x),
+            HostedOracle::Chaos(o) => o.try_query_batch(x),
+        }
+    }
+
+    fn query_count(&self) -> u64 {
+        match self {
+            HostedOracle::Plain(o) => o.query_count(),
+            HostedOracle::Chaos(o) => o.query_count(),
+        }
+    }
+
+    fn input_dim(&self) -> usize {
+        match self {
+            HostedOracle::Plain(o) => o.input_dim(),
+            HostedOracle::Chaos(o) => o.input_dim(),
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        match self {
+            HostedOracle::Plain(o) => o.output_dim(),
+            HostedOracle::Chaos(o) => o.output_dim(),
+        }
+    }
+
+    fn remaining_budget(&self) -> Option<u64> {
+        match self {
+            HostedOracle::Plain(o) => o.remaining_budget(),
+            HostedOracle::Chaos(o) => o.remaining_budget(),
+        }
+    }
+}
+
+/// Where a campaign's RLCP frames live: in memory (the default) or on
+/// disk when the submitter asked for a durable checkpoint path.
+#[derive(Debug, Clone)]
+enum HubSink {
+    Memory(Arc<MemoryCheckpointSink>),
+    File(FileCheckpointSink),
+}
+
+impl HubSink {
+    fn bytes(&self) -> Option<Vec<u8>> {
+        match self {
+            HubSink::Memory(m) => m.contents(),
+            HubSink::File(f) => f.load().ok().flatten(),
+        }
+    }
+}
+
+impl CheckpointSink for HubSink {
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        match self {
+            HubSink::Memory(m) => m.save(bytes),
+            HubSink::File(f) => f.save(bytes),
+        }
+    }
+
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        match self {
+            HubSink::Memory(m) => m.load(),
+            HubSink::File(f) => f.load(),
+        }
+    }
+}
+
+/// How to run one campaign. Everything here is per-campaign; the cache
+/// cap and slot count are hub-wide ([`CampaignHub::new`]).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Tenant the campaign bills its scheduler grants to.
+    pub tenant: String,
+    /// Attack PRNG seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Fair-share weight of the tenant (grants ∝ weight).
+    pub weight: u64,
+    /// Underlying-query budget for the whole campaign (`None` unlimited).
+    pub query_budget: Option<u64>,
+    /// Wall-clock deadline from submission (`None` unlimited).
+    pub deadline: Option<Duration>,
+    /// Attack worker threads inside a segment (1 = sequential).
+    pub threads: usize,
+    /// Use the fast attack preset (small line/sample counts).
+    pub fast: bool,
+    /// Run the §4.3 monolithic learning baseline instead of Algorithm 2.
+    /// Monolithic campaigns have no checkpoint cuts, so they cannot pause.
+    pub monolithic: bool,
+    /// Deterministic fault schedule wrapped around the oracle.
+    pub chaos: Option<ChaosConfig>,
+    /// Persist RLCP frames to this path instead of daemon memory.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Retry policy of the campaign's brokers.
+    pub retry: RetryPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            tenant: "default".to_string(),
+            seed: 1,
+            weight: 1,
+            query_budget: None,
+            deadline: None,
+            threads: 1,
+            fast: true,
+            monolithic: false,
+            chaos: None,
+            checkpoint_path: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Lifecycle states. `Queued → Running ⇄ Paused → Completed/Failed/
+/// Cancelled`; the three right-most are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Submitted, not yet granted its first scheduler slot.
+    Queued,
+    /// A segment is executing (or waiting for a slot).
+    Running,
+    /// Held at a checkpoint cut; the sink holds the authoritative frame.
+    Paused,
+    /// The key was recovered; see [`CampaignView::key`].
+    Completed,
+    /// The attack errored (budget, deadline, backend, or panic).
+    Failed,
+    /// Cancelled by request.
+    Cancelled,
+}
+
+impl CampaignState {
+    /// Whether the campaign will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            CampaignState::Completed | CampaignState::Failed | CampaignState::Cancelled
+        )
+    }
+
+    /// Stable lowercase name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Running => "running",
+            CampaignState::Paused => "paused",
+            CampaignState::Completed => "completed",
+            CampaignState::Failed => "failed",
+            CampaignState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A status snapshot of one campaign. Progress fields update at segment
+/// boundaries (completion, pause, crash-retry), not mid-segment.
+#[derive(Debug, Clone)]
+pub struct CampaignView {
+    /// Hub-assigned campaign id.
+    pub id: u64,
+    /// Billing tenant.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: CampaignState,
+    /// Cumulative underlying oracle queries (the paper's `#Q`).
+    pub queries: u64,
+    /// Cumulative requested rows (cache hits included).
+    pub requested: u64,
+    /// Rows served from the shared cache.
+    pub cache_hits: u64,
+    /// Locked-layer index being worked on.
+    pub layer: usize,
+    /// Phase name of the last checkpoint cut.
+    pub phase: String,
+    /// Segments executed so far (slot grants).
+    pub segments: u64,
+    /// Injected chaos crashes absorbed so far.
+    pub crashes: u64,
+    /// The recovered key, once completed.
+    pub key: Option<Key>,
+    /// Whether every layer's key vector passed validation.
+    pub validated: bool,
+    /// Failure description, once failed.
+    pub error: Option<String>,
+}
+
+/// Why a hub request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HubError {
+    /// No campaign with that id.
+    UnknownCampaign(u64),
+    /// The campaign cannot honour the request in its current state.
+    InvalidState(&'static str),
+    /// A wait timed out before the campaign reached the awaited state.
+    Timeout,
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::UnknownCampaign(id) => write!(f, "unknown campaign {id}"),
+            HubError::InvalidState(why) => write!(f, "invalid state: {why}"),
+            HubError::Timeout => write!(f, "timed out waiting for campaign state"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+/// Desired run/hold state, flipped by pause/resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Desired {
+    Run,
+    Hold,
+}
+
+#[derive(Debug)]
+struct CampaignHandle {
+    id: u64,
+    tenant: String,
+    monolithic: bool,
+    /// The pause flag handed to `resume_session`: raised to stop the
+    /// in-flight segment at its next checkpoint cut.
+    halt: AtomicBool,
+    cancel: AtomicBool,
+    gate: Mutex<Desired>,
+    gate_cv: Condvar,
+    view: Mutex<CampaignView>,
+    view_cv: Condvar,
+    sink: HubSink,
+}
+
+impl CampaignHandle {
+    fn set_state(&self, state: CampaignState) {
+        let mut view = self.view.lock().expect("campaign view poisoned");
+        view.state = state;
+        drop(view);
+        self.view_cv.notify_all();
+    }
+
+    fn update_view(&self, f: impl FnOnce(&mut CampaignView)) {
+        let mut view = self.view.lock().expect("campaign view poisoned");
+        f(&mut view);
+        drop(view);
+        self.view_cv.notify_all();
+    }
+}
+
+/// Aggregate occupancy of the process-global cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubCacheStats {
+    /// Resident memoized rows.
+    pub rows: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// Rows evicted since the hub started.
+    pub evicted: u64,
+}
+
+/// The resident multi-tenant campaign host. See the module docs for the
+/// execution model.
+#[derive(Debug)]
+pub struct CampaignHub {
+    shared: relock_serve::SharedCache,
+    sched: Arc<FairScheduler>,
+    campaigns: Mutex<HashMap<u64, Arc<CampaignHandle>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl CampaignHub {
+    /// A hub with `slots` concurrent run slots and a shared cache capped
+    /// at `cache_byte_cap` bytes (`None` = unbounded).
+    pub fn new(slots: usize, cache_byte_cap: Option<usize>) -> Arc<CampaignHub> {
+        let shared = match cache_byte_cap {
+            Some(cap) => relock_serve::SharedCache::bounded(cap),
+            None => relock_serve::SharedCache::unbounded(),
+        };
+        Arc::new(CampaignHub {
+            shared,
+            sched: FairScheduler::new(slots),
+            campaigns: Mutex::new(HashMap::new()),
+            workers: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Submits a campaign and returns its id. The campaign starts running
+    /// as soon as the scheduler grants its tenant a slot.
+    pub fn submit(&self, model: LockedModel, cfg: CampaignConfig) -> u64 {
+        self.launch(model, cfg, None)
+    }
+
+    /// Submits a campaign that resumes from a previously captured RLCP
+    /// frame (see [`CampaignHub::checkpoint_bytes`]) — the migration path
+    /// across a daemon restart. An incompatible or corrupt frame falls
+    /// back to a fresh run, mirroring `Decryptor::resume`.
+    pub fn submit_checkpointed(
+        &self,
+        model: LockedModel,
+        cfg: CampaignConfig,
+        checkpoint: Vec<u8>,
+    ) -> u64 {
+        self.launch(model, cfg, Some(checkpoint))
+    }
+
+    fn launch(&self, model: LockedModel, cfg: CampaignConfig, checkpoint: Option<Vec<u8>>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sched.set_weight(&cfg.tenant, cfg.weight);
+        let sink = match &cfg.checkpoint_path {
+            Some(path) => HubSink::File(FileCheckpointSink::new(path.clone())),
+            None => HubSink::Memory(Arc::new(MemoryCheckpointSink::new())),
+        };
+        // Seed progress from the migrated frame so budgets keep charging
+        // against the whole campaign, not just this daemon's share of it.
+        let mut baseline = (0u64, 0usize, String::from("layer-start"));
+        if let Some(bytes) = &checkpoint {
+            let _ = sink.save(bytes);
+            if let Ok(state) = AttackState::decode(bytes) {
+                baseline = (
+                    state.queries,
+                    state.layer_index,
+                    state.cut.phase_name().to_string(),
+                );
+            }
+        }
+        let handle = Arc::new(CampaignHandle {
+            id,
+            tenant: cfg.tenant.clone(),
+            monolithic: cfg.monolithic,
+            halt: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            gate: Mutex::new(Desired::Run),
+            gate_cv: Condvar::new(),
+            view: Mutex::new(CampaignView {
+                id,
+                tenant: cfg.tenant.clone(),
+                state: CampaignState::Queued,
+                queries: baseline.0,
+                requested: 0,
+                cache_hits: 0,
+                layer: baseline.1,
+                phase: baseline.2,
+                segments: 0,
+                crashes: 0,
+                key: None,
+                validated: false,
+                error: None,
+            }),
+            view_cv: Condvar::new(),
+            sink,
+        });
+        self.campaigns
+            .lock()
+            .expect("campaign table poisoned")
+            .insert(id, Arc::clone(&handle));
+        relock_trace::counter("campaign.submitted", 1);
+        let shared = self.shared.clone();
+        let sched = Arc::clone(&self.sched);
+        let worker = std::thread::Builder::new()
+            .name(format!("campaign-{id}"))
+            .spawn(move || run_campaign(handle, model, cfg, shared, sched))
+            .expect("spawning a campaign worker failed");
+        self.workers
+            .lock()
+            .expect("worker table poisoned")
+            .push(worker);
+        id
+    }
+
+    fn handle(&self, id: u64) -> Result<Arc<CampaignHandle>, HubError> {
+        self.campaigns
+            .lock()
+            .expect("campaign table poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(HubError::UnknownCampaign(id))
+    }
+
+    /// A status snapshot of campaign `id`.
+    pub fn status(&self, id: u64) -> Result<CampaignView, HubError> {
+        let h = self.handle(id)?;
+        let view = h.view.lock().expect("campaign view poisoned").clone();
+        Ok(view)
+    }
+
+    /// Snapshots of every campaign, ordered by id.
+    pub fn list(&self) -> Vec<CampaignView> {
+        let mut views: Vec<CampaignView> = self
+            .campaigns
+            .lock()
+            .expect("campaign table poisoned")
+            .values()
+            .map(|h| h.view.lock().expect("campaign view poisoned").clone())
+            .collect();
+        views.sort_by_key(|v| v.id);
+        views
+    }
+
+    /// Requests a pause: the in-flight segment stops at its next
+    /// checkpoint cut and the campaign holds until [`CampaignHub::resume`].
+    /// A campaign that completes before reaching a cut stays completed.
+    pub fn pause(&self, id: u64) -> Result<(), HubError> {
+        let h = self.handle(id)?;
+        if h.monolithic {
+            return Err(HubError::InvalidState(
+                "monolithic campaigns have no checkpoint cuts to pause at",
+            ));
+        }
+        if self.status(id)?.state.is_terminal() {
+            return Err(HubError::InvalidState("campaign already finished"));
+        }
+        *h.gate.lock().expect("campaign gate poisoned") = Desired::Hold;
+        h.halt.store(true, Ordering::Relaxed);
+        h.gate_cv.notify_all();
+        relock_trace::counter("campaign.pause_requested", 1);
+        Ok(())
+    }
+
+    /// Releases a paused (or pausing) campaign back into the run queue.
+    pub fn resume(&self, id: u64) -> Result<(), HubError> {
+        let h = self.handle(id)?;
+        if self.status(id)?.state.is_terminal() {
+            return Err(HubError::InvalidState("campaign already finished"));
+        }
+        h.halt.store(false, Ordering::Relaxed);
+        *h.gate.lock().expect("campaign gate poisoned") = Desired::Run;
+        h.gate_cv.notify_all();
+        relock_trace::counter("campaign.resumed", 1);
+        Ok(())
+    }
+
+    /// Cancels a campaign. Running segments stop at their next checkpoint
+    /// cut (monolithic segments finish their single segment first).
+    pub fn cancel(&self, id: u64) -> Result<(), HubError> {
+        let h = self.handle(id)?;
+        if self.status(id)?.state.is_terminal() {
+            return Err(HubError::InvalidState("campaign already finished"));
+        }
+        h.cancel.store(true, Ordering::Relaxed);
+        h.halt.store(true, Ordering::Relaxed);
+        // Wake a held worker so it can observe the cancel.
+        *h.gate.lock().expect("campaign gate poisoned") = Desired::Run;
+        h.gate_cv.notify_all();
+        relock_trace::counter("campaign.cancelled", 1);
+        Ok(())
+    }
+
+    /// The campaign's last RLCP frame (None before the first cut). Pair
+    /// with [`CampaignHub::submit_checkpointed`] to migrate a paused
+    /// campaign to another daemon instance.
+    pub fn checkpoint_bytes(&self, id: u64) -> Result<Option<Vec<u8>>, HubError> {
+        Ok(self.handle(id)?.sink.bytes())
+    }
+
+    fn wait_where(
+        &self,
+        id: u64,
+        timeout: Duration,
+        pred: impl Fn(&CampaignView) -> bool,
+    ) -> Result<CampaignView, HubError> {
+        let h = self.handle(id)?;
+        let deadline = Instant::now() + timeout;
+        let mut view = h.view.lock().expect("campaign view poisoned");
+        loop {
+            if pred(&view) {
+                return Ok(view.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(HubError::Timeout);
+            }
+            let (guard, _) = h
+                .view_cv
+                .wait_timeout(view, deadline - now)
+                .expect("campaign view poisoned");
+            view = guard;
+        }
+    }
+
+    /// Blocks until the campaign reaches a terminal state.
+    pub fn wait_terminal(&self, id: u64, timeout: Duration) -> Result<CampaignView, HubError> {
+        self.wait_where(id, timeout, |v| v.state.is_terminal())
+    }
+
+    /// Blocks until the campaign is paused (terminal states also return,
+    /// so a campaign that finished before its pause cut cannot hang the
+    /// caller — inspect the returned state).
+    pub fn wait_paused(&self, id: u64, timeout: Duration) -> Result<CampaignView, HubError> {
+        self.wait_where(id, timeout, |v| {
+            v.state == CampaignState::Paused || v.state.is_terminal()
+        })
+    }
+
+    /// Occupancy and eviction counters of the process-global cache.
+    pub fn cache_stats(&self) -> HubCacheStats {
+        HubCacheStats {
+            rows: self.shared.cached_rows(),
+            bytes: self.shared.cached_bytes() as usize,
+            evicted: self.shared.evicted_rows(),
+        }
+    }
+
+    /// Cancels every live campaign and joins all worker threads.
+    pub fn shutdown(&self) {
+        let ids: Vec<u64> = self
+            .campaigns
+            .lock()
+            .expect("campaign table poisoned")
+            .keys()
+            .copied()
+            .collect();
+        for id in ids {
+            let _ = self.cancel(id);
+        }
+        self.join();
+    }
+
+    /// Joins all worker threads without cancelling (blocks until every
+    /// campaign is terminal or paused-forever — use `shutdown` to force).
+    pub fn join(&self) {
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("worker table poisoned")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// What one segment produced.
+enum Segment {
+    Done {
+        key: Key,
+        validated: bool,
+        queries: u64,
+        stats: QueryStatsSnapshot,
+    },
+    Paused {
+        layer: usize,
+        phase: &'static str,
+        queries: u64,
+        stats: QueryStatsSnapshot,
+    },
+    Fail(String),
+}
+
+/// The campaign worker: runs segments until terminal. See the module docs
+/// for the gate/slot/segment structure.
+fn run_campaign(
+    handle: Arc<CampaignHandle>,
+    model: LockedModel,
+    cfg: CampaignConfig,
+    shared: relock_serve::SharedCache,
+    sched: Arc<FairScheduler>,
+) {
+    let oracle = HostedOracle::new(&model, cfg.chaos.clone());
+    let namespace = model_namespace(&model);
+    let mut attack_cfg = if cfg.fast {
+        AttackConfig::fast()
+    } else {
+        AttackConfig::default()
+    };
+    attack_cfg.threads = cfg.threads.max(1);
+    let decryptor = Decryptor::new(attack_cfg);
+    let mut mono_cfg = MonolithicConfig::default();
+    if cfg.fast {
+        mono_cfg.learning.samples = 256;
+    }
+    let submitted = Instant::now();
+    loop {
+        // Gate: hold while a pause is in force.
+        {
+            let mut desired = handle.gate.lock().expect("campaign gate poisoned");
+            if *desired == Desired::Hold && !handle.cancel.load(Ordering::Relaxed) {
+                relock_trace::counter("campaign.paused", 1);
+                handle.set_state(CampaignState::Paused);
+                while *desired == Desired::Hold && !handle.cancel.load(Ordering::Relaxed) {
+                    desired = handle
+                        .gate_cv
+                        .wait(desired)
+                        .expect("campaign gate poisoned");
+                }
+            }
+        }
+        if handle.cancel.load(Ordering::Relaxed) {
+            handle.set_state(CampaignState::Cancelled);
+            return;
+        }
+        let slot = sched.acquire(&handle.tenant);
+        handle.halt.store(false, Ordering::Relaxed);
+        // A pause/cancel that raced the slot grant: honour it before
+        // spending any oracle traffic.
+        if *handle.gate.lock().expect("campaign gate poisoned") == Desired::Hold
+            || handle.cancel.load(Ordering::Relaxed)
+        {
+            drop(slot);
+            continue;
+        }
+        handle.update_view(|v| {
+            v.state = CampaignState::Running;
+            v.segments += 1;
+        });
+        let spent = handle.view.lock().expect("campaign view poisoned").queries;
+        let broker_cfg = BrokerConfig {
+            max_queries: cfg.query_budget.map(|b| b.saturating_sub(spent)),
+            deadline: cfg.deadline.map(|d| d.saturating_sub(submitted.elapsed())),
+            retry: cfg.retry,
+            ..BrokerConfig::default()
+        };
+        let broker = Broker::with_shared_cache(&oracle, broker_cfg, &shared, namespace);
+        let span = relock_trace::span("campaign.segment", handle.id);
+        let segment = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Prng::seed_from_u64(cfg.seed);
+            if cfg.monolithic {
+                let report =
+                    MonolithicAttack::new(mono_cfg).run(model.white_box(), &broker, &mut rng);
+                Segment::Done {
+                    key: report.key,
+                    validated: true,
+                    queries: report.queries,
+                    stats: report.stats,
+                }
+            } else {
+                match decryptor.resume_session(
+                    model.white_box(),
+                    &broker,
+                    &mut rng,
+                    &handle.sink,
+                    CheckpointPolicy::EVERY_CUT,
+                    &handle.halt,
+                ) {
+                    Ok((SessionOutcome::Completed(report), _)) => Segment::Done {
+                        validated: report.fully_validated(),
+                        queries: report.queries,
+                        key: report.key,
+                        stats: report.stats,
+                    },
+                    Ok((SessionOutcome::Paused(p), _)) => Segment::Paused {
+                        layer: p.layer,
+                        phase: p.phase,
+                        queries: p.queries,
+                        stats: p.stats,
+                    },
+                    Err(e) => Segment::Fail(e.to_string()),
+                }
+            }
+        }));
+        drop(span);
+        drop(slot);
+        let crashes = oracle.crashes();
+        match segment {
+            Ok(Segment::Done {
+                key,
+                validated,
+                queries,
+                stats,
+            }) => {
+                handle.update_view(|v| {
+                    v.queries = queries;
+                    v.requested = stats.requested;
+                    v.cache_hits = stats.cache_hits;
+                    v.crashes = crashes;
+                    v.key = Some(key);
+                    v.validated = validated;
+                    v.state = CampaignState::Completed;
+                });
+                relock_trace::counter("campaign.completed", 1);
+                return;
+            }
+            Ok(Segment::Paused {
+                layer,
+                phase,
+                queries,
+                stats,
+            }) => {
+                handle.update_view(|v| {
+                    v.queries = queries;
+                    v.requested = stats.requested;
+                    v.cache_hits = stats.cache_hits;
+                    v.crashes = crashes;
+                    v.layer = layer;
+                    v.phase = phase.to_string();
+                });
+                // Loop: the gate at the top decides between holding
+                // (pause) and immediately continuing (cancel, or a pause
+                // that was already resumed).
+            }
+            Ok(Segment::Fail(message)) => {
+                handle.update_view(|v| {
+                    v.crashes = crashes;
+                    v.error = Some(message);
+                    v.state = CampaignState::Failed;
+                });
+                relock_trace::counter("campaign.failed", 1);
+                return;
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<ChaosCrash>().is_some() {
+                    // Scheduled chaos death: the segment's checkpoint
+                    // survives, so just run another segment.
+                    handle.update_view(|v| v.crashes = crashes);
+                    continue;
+                }
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "campaign worker panicked".to_string());
+                handle.update_view(|v| {
+                    v.crashes = crashes;
+                    v.error = Some(message);
+                    v.state = CampaignState::Failed;
+                });
+                relock_trace::counter("campaign.failed", 1);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relock_locking::LockSpec;
+    use relock_nn::{build_mlp, MlpSpec};
+
+    fn tiny_model(seed: u64) -> LockedModel {
+        let mut rng = Prng::seed_from_u64(seed);
+        build_mlp(
+            &MlpSpec {
+                input: 5,
+                hidden: vec![7],
+                classes: 3,
+            },
+            LockSpec::evenly(4),
+            &mut rng,
+        )
+        .expect("tiny model builds")
+    }
+
+    fn reference_key(model: &LockedModel, seed: u64) -> Key {
+        let oracle = CountingOracle::new(model);
+        Decryptor::new(AttackConfig::fast())
+            .run(model.white_box(), &oracle, &mut Prng::seed_from_u64(seed))
+            .expect("reference attack succeeds")
+            .key
+    }
+
+    #[test]
+    fn submitted_campaign_completes_with_the_reference_key() {
+        let model = tiny_model(900);
+        let expected = reference_key(&model, 31);
+        let hub = CampaignHub::new(2, None);
+        let id = hub.submit(
+            model,
+            CampaignConfig {
+                seed: 31,
+                ..CampaignConfig::default()
+            },
+        );
+        let view = hub
+            .wait_terminal(id, Duration::from_secs(60))
+            .expect("campaign finishes");
+        assert_eq!(view.state, CampaignState::Completed);
+        assert_eq!(view.key.as_ref(), Some(&expected));
+        assert!(view.validated);
+        assert!(view.queries > 0);
+    }
+
+    #[test]
+    fn two_campaigns_on_one_model_share_the_cache() {
+        let model = tiny_model(901);
+        let hub = CampaignHub::new(2, None);
+        let cfg = CampaignConfig {
+            seed: 77,
+            ..CampaignConfig::default()
+        };
+        let a = hub.submit(model.clone(), cfg.clone());
+        let b = hub.submit(model, cfg);
+        let va = hub.wait_terminal(a, Duration::from_secs(60)).unwrap();
+        let vb = hub.wait_terminal(b, Duration::from_secs(60)).unwrap();
+        assert_eq!(va.state, CampaignState::Completed);
+        assert_eq!(vb.state, CampaignState::Completed);
+        assert_eq!(va.key, vb.key);
+        // Same seed + same model + shared namespace: one campaign's rows
+        // serve the other from cache, so combined underlying traffic is
+        // strictly below two cold runs.
+        let total_underlying = va.queries + vb.queries;
+        let total_hits = va.cache_hits + vb.cache_hits;
+        assert!(
+            total_hits > 0,
+            "identical campaigns produced no cross-campaign hits"
+        );
+        assert!(total_underlying < 2 * va.queries.max(vb.queries) + 1);
+        assert!(hub.cache_stats().rows > 0);
+    }
+
+    #[test]
+    fn pause_checkpoint_migrate_resume_recovers_the_identical_key() {
+        let model = tiny_model(902);
+        let expected = reference_key(&model, 55);
+        let hub = CampaignHub::new(1, None);
+        let id = hub.submit(
+            model.clone(),
+            CampaignConfig {
+                seed: 55,
+                // A permanent latency floor slows the campaign enough for
+                // the pause request to land before completion.
+                chaos: Some(ChaosConfig {
+                    seed: 9,
+                    latency_spike_rate: 1.0,
+                    latency_spike: Duration::from_millis(2),
+                    ..ChaosConfig::default()
+                }),
+                ..CampaignConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        // The campaign may already be terminal; pause only if still live.
+        let _ = hub.pause(id);
+        let view = hub.wait_paused(id, Duration::from_secs(60)).unwrap();
+        if view.state == CampaignState::Paused {
+            let frame = hub
+                .checkpoint_bytes(id)
+                .unwrap()
+                .expect("paused campaign has a frame");
+            assert!(view.queries > 0);
+            // "Daemon restart": a second hub, fresh cache, resumed from
+            // the migrated frame.
+            let hub2 = CampaignHub::new(1, None);
+            let id2 = hub2.submit_checkpointed(
+                model,
+                CampaignConfig {
+                    seed: 55,
+                    ..CampaignConfig::default()
+                },
+                frame,
+            );
+            let done = hub2.wait_terminal(id2, Duration::from_secs(60)).unwrap();
+            assert_eq!(done.state, CampaignState::Completed);
+            assert_eq!(done.key.as_ref(), Some(&expected));
+            hub.cancel(id).unwrap();
+            hub.shutdown();
+            hub2.shutdown();
+        } else {
+            // Too fast to pause: the completed key must still be right.
+            assert_eq!(view.key.as_ref(), Some(&expected));
+        }
+    }
+
+    #[test]
+    fn cancel_stops_a_held_campaign() {
+        let model = tiny_model(903);
+        let hub = CampaignHub::new(1, None);
+        let id = hub.submit(
+            model,
+            CampaignConfig {
+                seed: 3,
+                ..CampaignConfig::default()
+            },
+        );
+        // Cancel can race completion on a tiny model; both ends are fine,
+        // but the campaign must reach a terminal state promptly.
+        let _ = hub.cancel(id);
+        let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        assert!(view.state.is_terminal());
+        assert!(matches!(
+            hub.cancel(id),
+            Err(HubError::InvalidState(_)) | Ok(())
+        ));
+    }
+
+    #[test]
+    fn chaos_crashes_are_absorbed_by_resegmenting() {
+        let model = tiny_model(904);
+        let expected = reference_key(&model, 21);
+        let hub = CampaignHub::new(1, None);
+        let id = hub.submit(
+            model,
+            CampaignConfig {
+                seed: 21,
+                chaos: Some(ChaosConfig::crash_only(5, vec![40, 90])),
+                ..CampaignConfig::default()
+            },
+        );
+        let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        assert_eq!(view.state, CampaignState::Completed);
+        assert_eq!(view.key.as_ref(), Some(&expected));
+        assert_eq!(view.crashes, 2, "both scheduled crashes fired");
+        assert!(view.segments >= 3, "each crash costs a segment");
+    }
+
+    #[test]
+    fn query_budget_bounds_underlying_traffic() {
+        let model = tiny_model(905);
+        let hub = CampaignHub::new(1, None);
+        let id = hub.submit(
+            model,
+            CampaignConfig {
+                seed: 11,
+                query_budget: Some(10),
+                ..CampaignConfig::default()
+            },
+        );
+        let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        // The attack degrades on exhaustion rather than erroring whenever
+        // it already holds a key candidate, so either terminal state is
+        // legitimate — but the budget itself is a hard ceiling.
+        assert!(
+            view.queries <= 10,
+            "spent {} of a 10-row budget",
+            view.queries
+        );
+        match view.state {
+            CampaignState::Completed => {
+                assert!(!view.validated, "10 queries cannot validate every layer")
+            }
+            CampaignState::Failed => {
+                assert!(view.error.is_some(), "failure carries a message");
+            }
+            other => panic!("expected a terminal state, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ids_and_monolithic_pause_are_rejected() {
+        let model = tiny_model(906);
+        let hub = CampaignHub::new(1, None);
+        assert_eq!(hub.status(99).unwrap_err(), HubError::UnknownCampaign(99));
+        let id = hub.submit(
+            model,
+            CampaignConfig {
+                seed: 13,
+                monolithic: true,
+                ..CampaignConfig::default()
+            },
+        );
+        assert!(matches!(hub.pause(id), Err(HubError::InvalidState(_))));
+        let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        assert_eq!(view.state, CampaignState::Completed);
+        assert!(view.key.is_some());
+    }
+}

@@ -1007,6 +1007,10 @@ mod tests {
                         underlying: 90,
                     },
                 )],
+                // Cache occupancy/eviction gauges are live-process state,
+                // not attack state: they are not serialized (keeping the
+                // RLCP v2 byte format unchanged) and default to zero here.
+                ..QueryStatsSnapshot::default()
             },
             queries: 90,
         }

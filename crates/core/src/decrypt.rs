@@ -32,7 +32,7 @@ use relock_locking::{Key, Oracle, OracleError};
 use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Per-layer attack statistics.
@@ -90,6 +90,33 @@ impl DecryptionReport {
     pub fn fully_validated(&self) -> bool {
         self.layers.iter().all(|l| l.validated)
     }
+}
+
+/// The outcome of one pausable attack *segment* (see
+/// [`Decryptor::resume_session`]).
+#[derive(Debug)]
+pub enum SessionOutcome {
+    /// The segment ran the attack to completion.
+    Completed(DecryptionReport),
+    /// The pause flag was observed at a checkpoint cut. The sink holds the
+    /// RLCP frame of exactly that cut; a later `resume_session` (in this
+    /// process or another) continues bit-identically.
+    Paused(PausedSession),
+}
+
+/// Where a paused segment stopped. The authoritative state is the RLCP
+/// frame in the checkpoint sink; this summary exists for status reporting.
+#[derive(Debug, Clone)]
+pub struct PausedSession {
+    /// Index of the locked layer the cut belongs to.
+    pub layer: usize,
+    /// Stable phase name of the cut (see `PhaseCut::phase_name`).
+    pub phase: &'static str,
+    /// Underlying oracle queries spent by the whole session so far
+    /// (pre-pause segments included).
+    pub queries: u64,
+    /// Merged broker accounting of the whole session so far.
+    pub stats: QueryStatsSnapshot,
 }
 
 /// The DNN decryption attack (Algorithm 2).
@@ -158,7 +185,16 @@ impl Decryptor {
         broker: &Broker<O>,
         rng: &mut Prng,
     ) -> Result<DecryptionReport, AttackError> {
-        self.drive(white_box, broker, rng, None, None)
+        Self::completed(self.drive(white_box, broker, rng, None, None, None)?)
+    }
+
+    /// Unwraps a [`SessionOutcome`] from a drive that was given no pause
+    /// flag and therefore cannot have paused.
+    fn completed(outcome: SessionOutcome) -> Result<DecryptionReport, AttackError> {
+        match outcome {
+            SessionOutcome::Completed(report) => Ok(report),
+            SessionOutcome::Paused(_) => unreachable!("no pause flag was supplied"),
+        }
     }
 
     /// Runs the attack like [`Decryptor::run_brokered`], persisting a
@@ -179,7 +215,7 @@ impl Decryptor {
         sink: &dyn CheckpointSink,
         policy: CheckpointPolicy,
     ) -> Result<DecryptionReport, AttackError> {
-        self.drive(white_box, broker, rng, None, Some((sink, policy)))
+        Self::completed(self.drive(white_box, broker, rng, None, Some((sink, policy)), None)?)
     }
 
     /// Continues a checkpointed run, or starts fresh when the sink holds
@@ -210,6 +246,60 @@ impl Decryptor {
         sink: &dyn CheckpointSink,
         policy: CheckpointPolicy,
     ) -> Result<(DecryptionReport, ResumeStatus), AttackError> {
+        let (state, status) = Self::load_state(sink, white_box);
+        let report = Self::completed(self.drive(
+            white_box,
+            broker,
+            rng,
+            state,
+            Some((sink, policy)),
+            None,
+        )?)?;
+        Ok((report, status))
+    }
+
+    /// Like [`Decryptor::resume`], but pausable: the driver polls `pause`
+    /// at every checkpoint cut (post-inference, post-learning, correction
+    /// wave boundaries, layer commits) and, once it reads `true`, forces
+    /// the cut's RLCP frame into the sink and returns
+    /// [`SessionOutcome::Paused`] without issuing further oracle traffic.
+    ///
+    /// Pause latency is therefore one attack phase at worst, and pausing
+    /// never perturbs the result: the poll consumes neither the PRNG nor
+    /// the oracle, so a paused-and-resumed session recovers a key
+    /// bit-identical to the uninterrupted run (the campaign soak asserts
+    /// this). Each segment needs a fresh broker, like [`Decryptor::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::resume`].
+    pub fn resume_session<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        sink: &dyn CheckpointSink,
+        policy: CheckpointPolicy,
+        pause: &AtomicBool,
+    ) -> Result<(SessionOutcome, ResumeStatus), AttackError> {
+        let (state, status) = Self::load_state(sink, white_box);
+        let outcome = self.drive(
+            white_box,
+            broker,
+            rng,
+            state,
+            Some((sink, policy)),
+            Some(pause),
+        )?;
+        Ok((outcome, status))
+    }
+
+    /// Loads and validates the sink's checkpoint; unusable frames fall
+    /// back to a fresh start (see [`Decryptor::resume`]).
+    fn load_state(
+        sink: &dyn CheckpointSink,
+        white_box: &Graph,
+    ) -> (Option<AttackState>, ResumeStatus) {
         let loaded: Result<Option<AttackState>, String> = match sink.load() {
             Err(e) => Err(format!("checkpoint sink load failed: {e}")),
             Ok(None) => Ok(None),
@@ -221,7 +311,7 @@ impl Decryptor {
                 .map(Some)
                 .map_err(|e| e.to_string()),
         };
-        let (state, status) = match loaded {
+        match loaded {
             Ok(None) => (None, ResumeStatus::Fresh),
             Ok(Some(state)) => {
                 let status = ResumeStatus::Resumed {
@@ -231,9 +321,7 @@ impl Decryptor {
                 (Some(state), status)
             }
             Err(reason) => (None, ResumeStatus::FellBack { reason }),
-        };
-        let report = self.drive(white_box, broker, rng, state, Some((sink, policy)))?;
-        Ok((report, status))
+        }
     }
 
     /// Structural fit of a snapshot against the graph it would resume.
@@ -277,7 +365,8 @@ impl Decryptor {
 
     /// The resumable Algorithm-2 driver behind every public entry point.
     /// `resume_state` restores a previous segment's cut; `ckpt` persists
-    /// new cuts as the run progresses.
+    /// new cuts as the run progresses; `pause` (meaningful only with a
+    /// sink) requests a cooperative stop at the next cut.
     fn drive<O: Oracle>(
         &self,
         white_box: &Graph,
@@ -285,7 +374,8 @@ impl Decryptor {
         rng: &mut Prng,
         resume_state: Option<AttackState>,
         ckpt: Option<(&dyn CheckpointSink, CheckpointPolicy)>,
-    ) -> Result<DecryptionReport, AttackError> {
+        pause: Option<&AtomicBool>,
+    ) -> Result<SessionOutcome, AttackError> {
         let cfg = &self.cfg;
         let oracle: &dyn Oracle = broker;
         if oracle.input_dim() != white_box.input_size() {
@@ -386,6 +476,23 @@ impl Decryptor {
                 queries: baseline_queries + (oracle.query_count() - start_queries),
             }
         };
+        // True once the caller requests a pause. Polled only at cut sites,
+        // right where a checkpoint frame can capture the exact state; the
+        // poll consumes neither the PRNG nor the oracle, so pausing cannot
+        // perturb the recovered key. Without a sink there is no frame to
+        // resume from, so the flag is ignored.
+        let pause_requested = || pause.is_some_and(|p| p.load(Ordering::Relaxed));
+        // Session-so-far summary for a Paused outcome.
+        let paused_at = |layer: usize, phase: &'static str| -> SessionOutcome {
+            let mut stats = baseline_stats.clone();
+            stats.merge(&broker.snapshot());
+            SessionOutcome::Paused(PausedSession {
+                layer,
+                phase,
+                queries: baseline_queries + (oracle.query_count() - start_queries),
+                stats,
+            })
+        };
 
         for li in start_layer..layers.len() {
             let _layer_span = relock_trace::span("attack.layer", li as u64);
@@ -469,7 +576,8 @@ impl Decryptor {
                     }
                 }
                 if let Some(w) = writer.as_mut() {
-                    w.write(false, oracle.query_count() - start_queries, || {
+                    let pausing = pause_requested();
+                    w.write(pausing, oracle.query_count() - start_queries, || {
                         make_state(
                             li,
                             PhaseCut::PostInfer {
@@ -483,6 +591,9 @@ impl Decryptor {
                             &timing,
                         )
                     })?;
+                    if pausing {
+                        return Ok(paused_at(li, "post-inference"));
+                    }
                 }
                 inf
             };
@@ -550,7 +661,8 @@ impl Decryptor {
                     // selection consumes the PRNG, so a resume from this
                     // cut redraws the identical target from the restored
                     // state.
-                    w.write(false, oracle.query_count() - start_queries, || {
+                    let pausing = pause_requested();
+                    w.write(pausing, oracle.query_count() - start_queries, || {
                         make_state(
                             li,
                             PhaseCut::PostLearn {
@@ -565,6 +677,9 @@ impl Decryptor {
                             &timing,
                         )
                     })?;
+                    if pausing {
+                        return Ok(paused_at(li, "post-learning"));
+                    }
                 }
                 (unresolved, confidences)
             };
@@ -706,7 +821,13 @@ impl Decryptor {
                 while ci < candidates.len() && applied.is_none() && !starved {
                     let _wave_span = relock_trace::span("attack.wave", ci as u64);
                     if let Some(w) = writer.as_mut() {
-                        w.write(false, oracle.query_count() - start_queries, || {
+                        // `ci > correction_from` guarantees liveness: a
+                        // segment must validate at least one wave before it
+                        // may pause at a wave boundary, so a caller that
+                        // re-raises the flag immediately after every resume
+                        // still finishes eventually.
+                        let pausing = ci > correction_from && pause_requested();
+                        w.write(pausing, oracle.query_count() - start_queries, || {
                             make_state(
                                 li,
                                 PhaseCut::Correcting {
@@ -725,6 +846,9 @@ impl Decryptor {
                                 &timing,
                             )
                         })?;
+                        if pausing {
+                            return Ok(paused_at(li, "correcting"));
+                        }
                     }
                     let wave = &candidates[ci..candidates.len().min(ci + wave_width)];
                     report.validation_rounds += wave.len();
@@ -806,19 +930,24 @@ impl Decryptor {
                         &timing,
                     )
                 })?;
+                // A pause on the final commit still completes the run:
+                // there is nothing left to resume.
+                if pause_requested() && li + 1 < layers.len() {
+                    return Ok(paused_at(li + 1, "layer-start"));
+                }
             }
         }
 
         broker.set_scope(None);
         let mut stats = baseline_stats;
         stats.merge(&broker.snapshot());
-        Ok(DecryptionReport {
+        Ok(SessionOutcome::Completed(DecryptionReport {
             key: Key::from_bits(ka.to_bits()),
             timing,
             queries: baseline_queries + (oracle.query_count() - start_queries),
             stats,
             layers: layers_out,
-        })
+        }))
     }
 
     /// Runs Algorithm 1 on every site of a layer, sharded across the
@@ -1212,6 +1341,69 @@ mod tests {
             .unwrap();
         assert_eq!(status, ResumeStatus::Fresh);
         assert_eq!(r4.key, r1.key);
+    }
+
+    #[test]
+    fn pausing_at_every_cut_still_recovers_the_identical_key() {
+        use crate::checkpoint::MemoryCheckpointSink;
+        use std::sync::atomic::AtomicBool;
+        let mut rng = Prng::seed_from_u64(150);
+        let model = build_mlp(
+            &MlpSpec {
+                input: 12,
+                hidden: vec![10, 6],
+                classes: 3,
+            },
+            LockSpec::evenly(8),
+            &mut rng,
+        )
+        .unwrap();
+        let g = model.white_box();
+        let oracle = CountingOracle::new(&model);
+        let dec = Decryptor::new(AttackConfig::fast());
+
+        // Reference: one uninterrupted run.
+        let broker = Broker::with_config(&oracle, BrokerConfig::default());
+        let reference = dec
+            .run_brokered(g, &broker, &mut Prng::seed_from_u64(151))
+            .unwrap();
+
+        // Session: the pause flag stays raised permanently — the most
+        // hostile caller possible. Every segment must still make progress
+        // (liveness) and the stitched-together run must be bit-identical.
+        let sink = MemoryCheckpointSink::new();
+        let pause = AtomicBool::new(true);
+        let mut segments = 0;
+        let report = loop {
+            segments += 1;
+            assert!(segments < 200, "pause/resume livelock");
+            let seg_broker = Broker::with_config(&oracle, BrokerConfig::default());
+            let (outcome, _) = dec
+                .resume_session(
+                    g,
+                    &seg_broker,
+                    &mut Prng::seed_from_u64(151),
+                    &sink,
+                    CheckpointPolicy::EVERY_CUT,
+                    &pause,
+                )
+                .unwrap();
+            match outcome {
+                SessionOutcome::Completed(r) => break r,
+                SessionOutcome::Paused(p) => {
+                    assert!(p.layer <= 2);
+                    assert!(!p.phase.is_empty());
+                    assert!(p.stats.is_balanced());
+                }
+            }
+        };
+        assert!(segments > 2, "the raised flag must actually have paused");
+        assert_eq!(report.key, reference.key, "pause must not perturb the key");
+        // Each segment's broker starts with a cold cache, so rows the
+        // uninterrupted run served as hits may be re-dispatched — queries
+        // can only grow, never change the outcome.
+        assert!(report.queries >= reference.queries);
+        assert!(report.stats.is_balanced());
     }
 
     #[test]

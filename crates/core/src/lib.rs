@@ -77,7 +77,7 @@ pub use correct::{correction_candidates, correction_plan};
 pub use critical::{
     search_critical_point, search_target_critical_point, CriticalPoint, TargetScalar,
 };
-pub use decrypt::{DecryptionReport, Decryptor, LayerReport};
+pub use decrypt::{DecryptionReport, Decryptor, LayerReport, PausedSession, SessionOutcome};
 pub use error::AttackError;
 pub use infer::{key_bit_inference, InferredBits};
 pub use learning::{

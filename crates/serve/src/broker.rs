@@ -22,7 +22,7 @@
 //! any harness without inflating Table 1.
 
 use crate::budget::QueryBudget;
-use crate::cache::{row_key, MemoCache, RowKey};
+use crate::cache::{row_key_ns, MemoCache, RowKey, SharedCache};
 use crate::flight::{Claim, FlightEntry, FlightTable};
 use crate::pool::evaluate_sharded;
 use crate::retry::RetryPolicy;
@@ -48,6 +48,11 @@ pub struct BrokerConfig {
     pub deadline: Option<Duration>,
     /// Retry policy for transient backend failures.
     pub retry: RetryPolicy,
+    /// Byte cap on the private memo cache (`None` = unbounded, the
+    /// one-shot attack default). Ignored by
+    /// [`Broker::with_shared_cache`], where the shared cache brings its
+    /// own cap.
+    pub memo_byte_cap: Option<usize>,
 }
 
 impl Default for BrokerConfig {
@@ -59,6 +64,7 @@ impl Default for BrokerConfig {
             max_queries: None,
             deadline: None,
             retry: RetryPolicy::default(),
+            memo_byte_cap: None,
         }
     }
 }
@@ -68,8 +74,13 @@ impl Default for BrokerConfig {
 pub struct Broker<O> {
     inner: O,
     config: BrokerConfig,
-    cache: MemoCache,
+    cache: Arc<MemoCache>,
     flights: Arc<FlightTable>,
+    /// Namespace word prepended to every cache key (shared caches only):
+    /// two brokers share entries iff they share both the cache *and* the
+    /// namespace, so a process-global table can front different models
+    /// without cross-serving their outputs.
+    key_ns: Option<u64>,
     budget: QueryBudget,
     stats: QueryStats,
 }
@@ -83,10 +94,39 @@ impl<O: Oracle> Broker<O> {
     /// Wraps `inner` with explicit configuration. The deadline clock starts
     /// now.
     pub fn with_config(inner: O, config: BrokerConfig) -> Self {
+        let cache = match config.memo_byte_cap {
+            Some(cap) => MemoCache::bounded(cap),
+            None => MemoCache::new(),
+        };
         Broker {
             inner,
-            cache: MemoCache::new(),
+            cache: Arc::new(cache),
             flights: Arc::new(FlightTable::new()),
+            key_ns: None,
+            budget: QueryBudget::new(config.max_queries, config.deadline),
+            stats: QueryStats::new(),
+            config,
+        }
+    }
+
+    /// Wraps `inner` on top of a process-global [`SharedCache`] instead of
+    /// a private one. `namespace` isolates this broker's entries from
+    /// other tenants of the cache: callers fronting the *same* backend
+    /// must pass the same namespace (typically a content hash of the
+    /// locked model) to share hits, and callers fronting different
+    /// backends must pass different namespaces. Budget, deadline, stats,
+    /// and retry behaviour stay per-broker.
+    pub fn with_shared_cache(
+        inner: O,
+        config: BrokerConfig,
+        shared: &SharedCache,
+        namespace: u64,
+    ) -> Self {
+        Broker {
+            inner,
+            cache: Arc::clone(&shared.cache),
+            flights: Arc::clone(&shared.flights),
+            key_ns: Some(namespace),
             budget: QueryBudget::new(config.max_queries, config.deadline),
             stats: QueryStats::new(),
             config,
@@ -104,9 +144,16 @@ impl<O: Oracle> Broker<O> {
         &self.stats
     }
 
-    /// Point-in-time metrics copy.
+    /// Point-in-time metrics copy, enriched with the occupancy and
+    /// eviction counters of the cache this broker fronts (which may be
+    /// process-global and therefore larger than this broker's own
+    /// traffic).
     pub fn snapshot(&self) -> QueryStatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.cache_evictions = self.cache.evicted_rows();
+        snap.cache_rows = self.cache.len() as u64;
+        snap.cache_bytes = self.cache.bytes();
+        snap
     }
 
     /// Memoized rows currently cached.
@@ -129,7 +176,15 @@ impl<O: Oracle> Broker<O> {
 
         if !self.config.memoize {
             self.budget.try_reserve(rows as u64)?;
-            let y = self.dispatch(x)?;
+            let y = match self.dispatch(x) {
+                Ok(y) => y,
+                Err(e) => {
+                    // The backend never answered these rows: hand the
+                    // reservation back so `#Q` counts answered rows only.
+                    self.budget.refund(rows as u64);
+                    return Err(e);
+                }
+            };
             self.stats
                 .record_batch(rows as u64, 0, rows as u64, started.elapsed());
             return Ok(y);
@@ -149,7 +204,8 @@ impl<O: Oracle> Broker<O> {
         let mut hits = 0u64;
         let mut underlying = 0u64;
         let mut pending: Vec<usize> = (0..rows).collect();
-        while !pending.is_empty() {
+        let mut failure: Option<OracleError> = None;
+        while !pending.is_empty() && failure.is_none() {
             let mut miss_rows: Vec<f64> = Vec::new();
             let mut miss_keys: Vec<RowKey> = Vec::new();
             let mut owned_rows: Vec<usize> = Vec::new();
@@ -157,16 +213,20 @@ impl<O: Oracle> Broker<O> {
             let mut slot_of: HashMap<RowKey, usize> = HashMap::new();
             let mut guards = Vec::new();
             let mut waiting: Vec<(usize, Arc<FlightEntry>)> = Vec::new();
+            // Duplicate rows that point at this round's miss slots are only
+            // *served* (and only count as hits) if the round's dispatch
+            // succeeds.
+            let mut round_dup_hits = 0u64;
             for &r in &pending {
                 let row = &x.as_slice()[r * cols..(r + 1) * cols];
-                let key = row_key(row);
+                let key = row_key_ns(self.key_ns, row);
                 if let Some(hit) = self.cache.get(&key) {
                     hits += 1;
                     resolved[r] = Some(hit);
                     continue;
                 }
                 if let Some(&slot) = slot_of.get(&key) {
-                    hits += 1;
+                    round_dup_hits += 1;
                     dups.push((r, slot));
                     continue;
                 }
@@ -183,30 +243,58 @@ impl<O: Oracle> Broker<O> {
             }
 
             // Stages 2–3: only owned unique misses are charged and
-            // dispatched. An early return (budget, backend error) drops the
-            // guards, releasing waiters to re-claim.
+            // dispatched. On failure the guards drop (releasing waiters to
+            // re-claim), any reservation the backend never answered is
+            // refunded, and the rounds already served stay on the books —
+            // the error is surfaced after partial accounting below.
             let misses = miss_keys.len();
             if misses > 0 {
-                self.budget.try_reserve(misses as u64)?;
-                let mx = Tensor::from_vec(std::mem::take(&mut miss_rows), [misses, cols]);
-                let my = self.dispatch(&mx)?;
-                for (i, key) in miss_keys.into_iter().enumerate() {
-                    self.cache.insert(key, my.row(i).into());
-                }
-                underlying += misses as u64;
-                for (slot, &r) in owned_rows.iter().enumerate() {
-                    resolved[r] = Some(my.row(slot).into());
-                }
-                for (r, slot) in dups {
-                    resolved[r] = Some(my.row(slot).into());
+                match self.budget.try_reserve(misses as u64) {
+                    Ok(()) => match self.dispatch(&Tensor::from_vec(
+                        std::mem::take(&mut miss_rows),
+                        [misses, cols],
+                    )) {
+                        Ok(my) => {
+                            for (i, key) in miss_keys.into_iter().enumerate() {
+                                self.cache.insert(key, my.row(i).into());
+                            }
+                            underlying += misses as u64;
+                            hits += round_dup_hits;
+                            for (slot, &r) in owned_rows.iter().enumerate() {
+                                resolved[r] = Some(my.row(slot).into());
+                            }
+                            for (r, slot) in dups {
+                                resolved[r] = Some(my.row(slot).into());
+                            }
+                        }
+                        Err(e) => {
+                            self.budget.refund(misses as u64);
+                            failure = Some(e);
+                        }
+                    },
+                    Err(e) => failure = Some(e),
                 }
             }
             drop(guards); // publish completions before waiting on anyone
 
-            for (_, entry) in &waiting {
-                entry.wait();
+            if failure.is_none() {
+                for (_, entry) in &waiting {
+                    entry.wait();
+                }
+                pending = waiting.into_iter().map(|(r, _)| r).collect();
             }
-            pending = waiting.into_iter().map(|(r, _)| r).collect();
+        }
+
+        if let Some(e) = failure {
+            // Partial accounting: rows this call *did* serve (cache hits)
+            // or dispatch in earlier rounds are real traffic and must stay
+            // balanced in the books; rows the failure left unserved are
+            // charged to nobody.
+            if hits + underlying > 0 {
+                self.stats
+                    .record_batch(hits + underlying, hits, underlying, started.elapsed());
+            }
+            return Err(e);
         }
 
         // Reassemble in request order.
@@ -498,6 +586,142 @@ mod tests {
         assert_eq!(o.query_count(), 1, "one successful underlying query");
         let snap = broker.snapshot();
         assert_eq!(snap.underlying, 1);
+        assert!(snap.is_balanced());
+    }
+
+    /// Satellite regression: a failed dispatch must refund its budget
+    /// reservation — the backend never answered, so nothing was spent.
+    #[test]
+    fn failed_dispatch_refunds_its_reservation() {
+        let o = SlowOracle::new(Duration::from_millis(1), 1);
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                max_queries: Some(10),
+                retry: RetryPolicy {
+                    max_attempts: 1,
+                    ..RetryPolicy::default()
+                },
+                ..BrokerConfig::default()
+            },
+        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [4, 2]);
+        let err = broker.try_query_batch(&x).unwrap_err();
+        assert!(matches!(err, OracleError::Backend { .. }));
+        // The failed call charged exactly zero queries.
+        assert_eq!(broker.remaining_budget(), Some(10));
+        assert_eq!(broker.query_count(), 0);
+        assert_eq!(o.query_count(), 0);
+        // The retry then charges exactly the four rows, no more.
+        broker.try_query_batch(&x).unwrap();
+        assert_eq!(broker.remaining_budget(), Some(6));
+        assert_eq!(broker.query_count(), 4);
+        assert!(broker.snapshot().is_balanced());
+    }
+
+    /// Satellite regression: `BudgetExhausted` mid-batch must not charge
+    /// the unserved rows, and rows already served from cache stay on the
+    /// books — the exact charged-query count is pinned.
+    #[test]
+    fn budget_exhaustion_mid_batch_charges_only_served_rows() {
+        let o = oracle();
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                max_queries: Some(5),
+                ..BrokerConfig::default()
+            },
+        );
+        let mut rng = Prng::seed_from_u64(56);
+        let warm = rng.normal_tensor([2, 5]);
+        broker.try_query_batch(&warm).unwrap(); // 2 charged, 2 cached
+        assert_eq!(broker.remaining_budget(), Some(3));
+
+        // A batch of the 2 cached rows + 4 fresh ones: the fresh rows
+        // can't fit in the remaining budget of 3, so the batch fails — but
+        // the 2 cache hits were served and the 4 unserved rows cost nothing.
+        let fresh = rng.normal_tensor([4, 5]);
+        let mut data = warm.as_slice().to_vec();
+        data.extend_from_slice(fresh.as_slice());
+        let x = Tensor::from_vec(data, [6, 5]);
+        let err = broker.try_query_batch(&x).unwrap_err();
+        assert!(matches!(err, OracleError::BudgetExhausted { .. }));
+        assert_eq!(broker.query_count(), 2, "exactly the warm-up was charged");
+        assert_eq!(broker.remaining_budget(), Some(3));
+        assert_eq!(o.query_count(), 2);
+        let snap = broker.snapshot();
+        assert_eq!(snap.requested, 4, "2 warm-up rows + 2 hits served");
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.underlying, 2);
+        assert!(snap.is_balanced());
+        // A batch the budget does afford still goes through afterwards.
+        broker.try_query_batch(&rng.normal_tensor([3, 5])).unwrap();
+        assert_eq!(broker.remaining_budget(), Some(0));
+        assert_eq!(broker.query_count(), 5);
+    }
+
+    #[test]
+    fn shared_cache_is_shared_between_brokers_with_one_namespace() {
+        let o = oracle();
+        let shared = crate::SharedCache::unbounded();
+        let a = Broker::with_shared_cache(&o, BrokerConfig::default(), &shared, 7);
+        let b = Broker::with_shared_cache(&o, BrokerConfig::default(), &shared, 7);
+        let mut rng = Prng::seed_from_u64(57);
+        let x = rng.normal_tensor([3, 5]);
+        let ya = a.query_batch(&x);
+        let yb = b.query_batch(&x);
+        assert_eq!(ya.as_slice(), yb.as_slice());
+        assert_eq!(o.query_count(), 3, "second broker served from shared cache");
+        assert_eq!(b.snapshot().cache_hits, 3);
+        assert_eq!(shared.cached_rows(), 3);
+        assert_eq!(shared.evicted_rows(), 0);
+    }
+
+    #[test]
+    fn shared_cache_namespaces_isolate_different_backends() {
+        // Two backends disagreeing on the same input bytes must not serve
+        // each other's entries through the shared table.
+        let o1 = SlowOracle::new(Duration::ZERO, 0);
+        let o2 = SlowOracle::new(Duration::ZERO, 0);
+        let shared = crate::SharedCache::unbounded();
+        let a = Broker::with_shared_cache(&o1, BrokerConfig::default(), &shared, 1);
+        let b = Broker::with_shared_cache(&o2, BrokerConfig::default(), &shared, 2);
+        let x = Tensor::from_vec(vec![0.5, 0.25], [1, 2]);
+        a.query_batch(&x);
+        b.query_batch(&x);
+        assert_eq!(o1.query_count(), 1);
+        assert_eq!(
+            o2.query_count(),
+            1,
+            "namespace 2 missed namespace 1's entry"
+        );
+        assert_eq!(shared.cached_rows(), 2);
+        assert_eq!(b.snapshot().cache_hits, 0);
+    }
+
+    #[test]
+    fn snapshot_surfaces_eviction_counters() {
+        let o = oracle();
+        // A cap far below the traffic forces evictions on the private
+        // cache path too.
+        let broker = Broker::with_config(
+            &o,
+            BrokerConfig {
+                memo_byte_cap: Some(1024),
+                ..BrokerConfig::default()
+            },
+        );
+        let mut rng = Prng::seed_from_u64(58);
+        for _ in 0..8 {
+            broker.query_batch(&rng.normal_tensor([8, 5]));
+        }
+        let snap = broker.snapshot();
+        assert!(snap.cache_evictions > 0, "1 KiB cap must evict");
+        assert!(snap.cache_rows > 0);
+        assert!(snap.cache_bytes > 0);
+        // With a sub-entry-size per-shard cap each shard retains exactly
+        // its newest entry (self-eviction is forbidden).
+        assert!(snap.cache_rows <= 16);
         assert!(snap.is_balanced());
     }
 

@@ -61,6 +61,28 @@ impl QueryBudget {
         Ok(())
     }
 
+    /// Returns `rows` previously reserved queries to the budget. The broker
+    /// refunds a reservation when the dispatch it paid for fails outright:
+    /// rows the backend never answered must not count against `#Q`.
+    /// Saturating, so a spurious refund can never underflow `spent`.
+    pub fn refund(&self, rows: u64) {
+        if rows == 0 {
+            return;
+        }
+        let mut cur = self.spent.load(Ordering::Relaxed);
+        loop {
+            match self.spent.compare_exchange_weak(
+                cur,
+                cur.saturating_sub(rows),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Atomically reserves `rows` underlying queries, or errors without
     /// reserving anything (all-or-nothing, so a partially affordable batch
     /// is never silently truncated — callers that can shrink their request
@@ -140,6 +162,19 @@ mod tests {
         });
         assert_eq!(b.spent(), 1000);
         assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn refund_returns_reserved_rows() {
+        let b = QueryBudget::new(Some(10), None);
+        b.try_reserve(8).unwrap();
+        b.refund(5);
+        assert_eq!(b.spent(), 3);
+        assert_eq!(b.remaining(), Some(7));
+        // Saturating: refunding more than was spent clamps at zero.
+        b.refund(100);
+        assert_eq!(b.spent(), 0);
+        assert_eq!(b.remaining(), Some(10));
     }
 
     #[test]

@@ -143,6 +143,40 @@ mod tests {
     }
 
     #[test]
+    fn panicking_owner_still_releases_waiters() {
+        // The guard completes in Drop, which runs during unwinding too: a
+        // leader that panics mid-dispatch must not strand its waiters, and
+        // the key must be re-claimable afterwards.
+        let table = Arc::new(FlightTable::new());
+        let key = row_key(&[9.0, -9.0]);
+        std::thread::scope(|scope| {
+            let owner_panics = {
+                let table = Arc::clone(&table);
+                let key = key.clone();
+                scope.spawn(move || {
+                    let _guard = match table.claim(key) {
+                        Claim::Owner(g) => g,
+                        Claim::Waiter(_) => panic!("first claim must own"),
+                    };
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    std::panic::panic_any("scheduled leader death");
+                })
+            };
+            // Give the owner time to claim, then wait on its flight.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            if let Claim::Waiter(e) = table.claim(key.clone()) {
+                e.wait(); // released by the unwinding owner's guard drop
+            }
+            assert!(owner_panics.join().is_err(), "owner really panicked");
+        });
+        assert_eq!(table.in_flight(), 0);
+        assert!(
+            matches!(table.claim(key), Claim::Owner(_)),
+            "key is claimable again after the owner's panic"
+        );
+    }
+
+    #[test]
     fn waiters_are_released_across_threads() {
         let table = Arc::new(FlightTable::new());
         let key = row_key(&[3.5]);

@@ -58,6 +58,7 @@ mod stats;
 
 pub use broker::{Broker, BrokerConfig};
 pub use budget::QueryBudget;
+pub use cache::SharedCache;
 pub use chaos::{ChaosConfig, ChaosCounters, ChaosCrash, ChaosOracle, Corruption};
 pub use retry::{RetryOracle, RetryPolicy};
 pub use stats::{QueryStats, QueryStatsSnapshot, ScopeCounts, HISTOGRAM_BUCKETS};

@@ -150,6 +150,11 @@ impl QueryStats {
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
                 .collect(),
+            // Cache gauges belong to the cache, not the stats: the broker
+            // fills them in (`Broker::snapshot`) from the cache it fronts.
+            cache_evictions: 0,
+            cache_rows: 0,
+            cache_bytes: 0,
         }
     }
 }
@@ -177,6 +182,17 @@ pub struct QueryStatsSnapshot {
     pub histogram: [u64; HISTOGRAM_BUCKETS],
     /// Accounting per procedure scope, sorted by label.
     pub per_scope: Vec<(String, ScopeCounts)>,
+    /// Rows evicted from the memo cache since construction (0 for
+    /// unbounded caches). Filled in by `Broker::snapshot` from the cache
+    /// it fronts; deliberately *not* serialized into RLCP checkpoints —
+    /// cache occupancy describes the live process, not the attack state.
+    pub cache_evictions: u64,
+    /// Rows resident in the memo cache at snapshot time (a gauge, not a
+    /// counter: `merge` keeps the most recent segment's value).
+    pub cache_rows: u64,
+    /// Estimated bytes resident in the memo cache at snapshot time (gauge,
+    /// like [`QueryStatsSnapshot::cache_rows`]).
+    pub cache_bytes: u64,
 }
 
 impl QueryStatsSnapshot {
@@ -237,6 +253,14 @@ impl QueryStatsSnapshot {
             }
         }
         self.per_scope.sort_by(|(a, _), (b, _)| a.cmp(b));
+        // Eviction is a counter; occupancy is a gauge. When splicing an
+        // older (checkpointed) segment onto a newer one, the newer side's
+        // occupancy is the live one — but a decoded checkpoint carries
+        // zeros here, so keep the larger reading instead of blindly taking
+        // `other`'s.
+        self.cache_evictions += other.cache_evictions;
+        self.cache_rows = self.cache_rows.max(other.cache_rows);
+        self.cache_bytes = self.cache_bytes.max(other.cache_bytes);
     }
 }
 
@@ -259,6 +283,13 @@ impl fmt::Display for QueryStatsSnapshot {
         )?;
         if self.injected_faults > 0 {
             write!(f, "  injected faults: {}", self.injected_faults)?;
+        }
+        if self.cache_evictions > 0 {
+            write!(
+                f,
+                "  cache: {} rows / {} B resident, {} evicted",
+                self.cache_rows, self.cache_bytes, self.cache_evictions
+            )?;
         }
         writeln!(f)?;
         write!(f, "batch-size histogram:")?;

@@ -35,6 +35,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> chaos soak (kill-and-resume bench)"
 cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
 
+# Multi-tenant campaign soak: 8 concurrent campaigns on one hub sharing
+# a 256 KiB LRU cache (evictions expected), fair-share scheduling across
+# two tenants, latency chaos on every oracle, and one pause →
+# daemon-restart → resume migration mid-flight. Every recovered key must
+# be bit-identical to its one-shot sequential reference.
+echo "==> campaign soak (multi-tenant daemon bench)"
+cargo run -p relock-bench --release --bin campaign_soak -- 8 4 256
+
 # Unified bench report + benchdiff: fails on any query-count drift vs
 # the committed baseline (deterministic); local timing only warns, like
 # CI — gate on queries, not on this machine's clock.

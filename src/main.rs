@@ -6,6 +6,12 @@
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
 //!                [--threads N] [--trace events.jsonl]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
+//! relock serve   [--listen tcp:127.0.0.1:7433] [--workers N] [--cache-mb N]
+//! relock submit  victim.rlk [--listen A] [--tenant T] [--seed N] [--weight N]
+//!                [--budget N] [--threads N] [--full] [--monolithic]
+//! relock status  [id] [--listen A]
+//! relock pause   <id> [--listen A]     relock resume <id> [--listen A]
+//! relock cancel  <id> [--listen A]     relock shutdown [--listen A]
 //! ```
 //!
 //! `lock` plays the IP owner: builds one of the four §4.2 victims, embeds
@@ -14,16 +20,26 @@
 //! the model file, treats the embedded key purely as the *hardware oracle*
 //! (never looking at it except to score fidelity at the end), and runs the
 //! DNN decryption attack or the monolithic baseline.
+//!
+//! `serve` starts the resident campaign daemon; `submit`/`status`/`pause`/
+//! `resume`/`cancel` speak its wire protocol (DESIGN.md §4). The daemon
+//! hosts many concurrent campaigns over one shared query cache with
+//! fair-share scheduling across tenants.
 
 use relock::prelude::*;
 use relock_attack::LearningConfig;
+use relock_campaign::{CampaignHub, Client, Request, ServerHandle};
+use relock_trace::json::Value;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+/// Default daemon address shared by `serve` and every client subcommand.
+const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:7433";
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})"
     );
     ExitCode::from(2)
 }
@@ -357,6 +373,151 @@ fn run_attack(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Starts the resident campaign daemon and blocks until a client sends
+/// `shutdown`.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = args.value("listen").unwrap_or(DEFAULT_LISTEN).to_string();
+    let workers = args.u64_value("workers", 4)? as usize;
+    let cache_mb = args.u64_value("cache-mb", 64)?;
+    let cap = if cache_mb == 0 {
+        None
+    } else {
+        Some((cache_mb as usize) << 20)
+    };
+    let hub = CampaignHub::new(workers, cap);
+    let server = ServerHandle::spawn(hub, &listen).map_err(|e| format!("{listen}: {e}"))?;
+    match cap {
+        Some(bytes) => println!(
+            "campaign daemon on {} ({workers} slots, {} MiB shared cache)",
+            server.addr(),
+            bytes >> 20
+        ),
+        None => println!(
+            "campaign daemon on {} ({workers} slots, unbounded shared cache)",
+            server.addr()
+        ),
+    }
+    server.join();
+    println!("campaign daemon stopped");
+    Ok(())
+}
+
+fn connect(args: &Args) -> Result<Client, String> {
+    let addr = args.value("listen").unwrap_or(DEFAULT_LISTEN);
+    Client::connect(addr).map_err(|e| format!("{addr}: {e} (is `relock serve` running?)"))
+}
+
+fn positional_id(args: &Args, what: &str) -> Result<u64, String> {
+    args.positional
+        .first()
+        .ok_or(format!("{what} needs a campaign id"))?
+        .parse()
+        .map_err(|_| "campaign ids are numbers".to_string())
+}
+
+fn print_campaign(c: &Value) {
+    let field_str = |k: &str| c.get(k).and_then(Value::as_str).unwrap_or("-").to_string();
+    let field_u64 = |k: &str| c.get(k).and_then(Value::as_u64).unwrap_or(0);
+    println!(
+        "campaign {} [{}]  tenant {}  queries {}  hits {}  layer {} ({})  segments {}",
+        field_u64("id"),
+        field_str("state"),
+        field_str("tenant"),
+        field_u64("queries"),
+        field_u64("cache_hits"),
+        field_u64("layer"),
+        field_str("phase"),
+        field_u64("segments"),
+    );
+    if let Some(key) = c.get("key").and_then(Value::as_str) {
+        println!(
+            "  key: {key}  validated: {}",
+            c.get("validated").and_then(Value::as_bool).unwrap_or(false)
+        );
+    }
+    if let Some(error) = c.get("error").and_then(Value::as_str) {
+        println!("  error: {error}");
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("submit needs a model file")?;
+    let absolute = std::fs::canonicalize(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut client = connect(args)?;
+    let response = client.call_ok(&Request::Submit {
+        model_path: absolute.display().to_string(),
+        tenant: args.value("tenant").unwrap_or("default").to_string(),
+        seed: args.u64_value("seed", 7)?,
+        weight: args.u64_value("weight", 1)?,
+        budget: match args.value("budget") {
+            Some(s) => Some(s.parse().map_err(|_| "--budget expects a number")?),
+            None => None,
+        },
+        threads: args.u64_value("threads", 1)?,
+        fast: args.flag("full").is_none(),
+        monolithic: args.flag("monolithic").is_some(),
+        checkpoint: None,
+    })?;
+    let id = response.get("id").and_then(Value::as_u64).unwrap_or(0);
+    println!("submitted campaign {id}");
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match args.positional.first() {
+        Some(raw) => {
+            let id = raw.parse().map_err(|_| "campaign ids are numbers")?;
+            let response = client.call_ok(&Request::Status { id })?;
+            let campaign = response
+                .get("campaign")
+                .ok_or("malformed status response")?;
+            print_campaign(campaign);
+        }
+        None => {
+            let response = client.call_ok(&Request::List)?;
+            let campaigns = response
+                .get("campaigns")
+                .and_then(Value::as_arr)
+                .ok_or("malformed list response")?;
+            if campaigns.is_empty() {
+                println!("no campaigns");
+            }
+            for c in campaigns {
+                print_campaign(c);
+            }
+            let stats = client.call_ok(&Request::Stats)?;
+            if let Some(cache) = stats.get("cache") {
+                println!(
+                    "shared cache: {} rows / {} B resident, {} evicted",
+                    cache.get("rows").and_then(Value::as_u64).unwrap_or(0),
+                    cache.get("bytes").and_then(Value::as_u64).unwrap_or(0),
+                    cache.get("evicted").and_then(Value::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_lifecycle(args: &Args, verb: &str) -> Result<(), String> {
+    let id = positional_id(args, verb)?;
+    let request = match verb {
+        "pause" => Request::Pause { id },
+        "resume" => Request::Resume { id },
+        _ => Request::Cancel { id },
+    };
+    connect(args)?.call_ok(&request)?;
+    println!("{verb} acknowledged for campaign {id}");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), String> {
+    connect(args)?.call_ok(&Request::Shutdown)?;
+    println!("daemon shutting down");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = raw.first().cloned() else {
@@ -367,6 +528,11 @@ fn main() -> ExitCode {
         "lock" => cmd_lock(&args),
         "inspect" => cmd_inspect(&args),
         "attack" => cmd_attack(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
+        "pause" | "resume" | "cancel" => cmd_lifecycle(&args, cmd.as_str()),
+        "shutdown" => cmd_shutdown(&args),
         _ => return usage(),
     };
     match result {
