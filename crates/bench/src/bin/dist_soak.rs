@@ -1,0 +1,197 @@
+//! Distributed-attack soak bench: runs the multi-process attack under a
+//! process-level chaos schedule — workers killed with SIGKILL mid-wave,
+//! a stalled heartbeat, a truncated frame — and verifies the recovered
+//! key and query count are bit-identical to an uninterrupted in-process
+//! run. Exits non-zero on any divergence — CI runs this as the
+//! `dist-soak` job with fixed seeds, fully offline.
+//!
+//! The binary doubles as its own worker: the coordinator respawns it
+//! with the hidden `dist-worker <socket>` argument (or honours
+//! `RELOCK_DIST_WORKER` when set).
+//!
+//! ```text
+//! dist_soak [workers] [key_bits] [prep_seed] [attack_seed]
+//! ```
+
+use relock_attack::{DecryptionReport, Decryptor};
+use relock_bench::{attack_config, dist_worker_command, maybe_dist_worker, prepare, Arch, Scale};
+use relock_dist::{DistChaos, DistCoordinator, DistOptions, DistReport};
+use relock_locking::CountingOracle;
+use relock_serve::{Broker, BrokerConfig};
+use relock_tensor::rng::Prng;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    if maybe_dist_worker() {
+        return ExitCode::SUCCESS;
+    }
+    let workers: usize = arg_or(1, 4);
+    let bits: usize = arg_or(2, 16);
+    let prep_seed: u64 = arg_or(3, 42);
+    let attack_seed: u64 = arg_or(4, 43);
+
+    let scale = Scale::from_env();
+    let p = prepare(Arch::Mlp, bits, scale, prep_seed);
+    let cfg = attack_config(Arch::Mlp, scale);
+    let decryptor = Decryptor::new(cfg);
+    let g = p.model.white_box();
+
+    // Uninterrupted in-process reference.
+    let oracle = CountingOracle::new(&p.model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let t0 = Instant::now();
+    let reference = decryptor
+        .run_brokered(g, &broker, &mut Prng::seed_from_u64(attack_seed))
+        .expect("reference run");
+    println!(
+        "mlp-{bits}: reference fidelity={:.3} rows={} in {:.1}s",
+        reference.fidelity(p.model.true_key()),
+        reference.queries,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let model_path =
+        std::env::temp_dir().join(format!("relock-dist-soak-{}.rlk", std::process::id()));
+    let mut w = std::io::BufWriter::new(
+        std::fs::File::create(&model_path).expect("create soak model file"),
+    );
+    p.model.save(&mut w).expect("save soak model");
+    drop(w);
+    let (program, worker_args) = dist_worker_command();
+
+    // Clean probe: how many rows actually flow through workers? Only the
+    // sharded phases are proxied, so kill points must anchor to routed
+    // traffic, not the broker's total.
+    let (clean, probe) = dist_run(
+        &decryptor,
+        &p,
+        &model_path,
+        &program,
+        &worker_args,
+        workers,
+        attack_seed,
+        DistChaos::default(),
+        None,
+    );
+    if clean.key != reference.key || clean.queries != reference.queries {
+        eprintln!(
+            "FAIL: clean {workers}-worker run diverged from reference\n  reference {} ({} rows)\n  dist      {} ({} rows)",
+            reference.key, reference.queries, clean.key, clean.queries
+        );
+        cleanup(&model_path);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "clean {workers}-worker run: bit-identical, {} rows proxied",
+        probe.routed_rows
+    );
+
+    // Chaos schedule: three SIGKILLs spread over the proxied traffic,
+    // one stalled heartbeat, one truncated frame. Five potential
+    // respawns, comfortably inside the default budget of 8.
+    let chaos = DistChaos {
+        kill_at_rows: vec![
+            (probe.routed_rows / 6).max(1),
+            (probe.routed_rows / 3).max(2),
+            (probe.routed_rows / 2).max(3),
+        ],
+        stall_after_items: Some((0, 2)),
+        truncate_after_items: Some((1.min(workers - 1), 5)),
+    };
+    println!(
+        "chaos schedule: kills at proxied rows {:?}, stall {:?}, truncate {:?}",
+        chaos.kill_at_rows, chaos.stall_after_items, chaos.truncate_after_items
+    );
+    let t1 = Instant::now();
+    let (soaked, d) = dist_run(
+        &decryptor,
+        &p,
+        &model_path,
+        &program,
+        &worker_args,
+        workers,
+        attack_seed,
+        chaos,
+        Some(Duration::from_millis(500)),
+    );
+    cleanup(&model_path);
+    println!(
+        "soaked run: {} respawns, {} lease expiries, {} duplicate discards, fidelity={:.3} in {:.1}s",
+        d.respawns,
+        d.lease_expiries,
+        d.duplicate_discards,
+        soaked.fidelity(p.model.true_key()),
+        t1.elapsed().as_secs_f64()
+    );
+
+    if let Some(reason) = &d.fell_back {
+        eprintln!("FAIL: circuit breaker tripped under a schedule within budget: {reason}");
+        return ExitCode::FAILURE;
+    }
+    if soaked.key != reference.key {
+        eprintln!(
+            "FAIL: soaked key diverged\n  reference {}\n  soaked    {}",
+            reference.key, soaked.key
+        );
+        return ExitCode::FAILURE;
+    }
+    if soaked.queries != reference.queries {
+        eprintln!(
+            "FAIL: underlying query count drifted: reference {} vs soaked {}",
+            reference.queries, soaked.queries
+        );
+        return ExitCode::FAILURE;
+    }
+    if d.lease_expiries == 0 {
+        eprintln!("FAIL: no lease expired — the chaos schedule proved nothing");
+        return ExitCode::FAILURE;
+    }
+    println!("OK: bit-identical key and query count after process-level chaos");
+    ExitCode::SUCCESS
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dist_run(
+    decryptor: &Decryptor,
+    p: &relock_bench::Prepared,
+    model_path: &std::path::Path,
+    program: &std::path::Path,
+    worker_args: &[String],
+    workers: usize,
+    attack_seed: u64,
+    chaos: DistChaos,
+    heartbeat: Option<Duration>,
+) -> (DecryptionReport, DistReport) {
+    let mut opts = DistOptions::new(program);
+    opts.workers = workers;
+    opts.worker_args = worker_args.to_vec();
+    opts.chaos = chaos;
+    if let Some(hb) = heartbeat {
+        opts.heartbeat = hb;
+    }
+    let coord = DistCoordinator::new(model_path, opts).expect("bind coordinator socket");
+    let oracle = CountingOracle::new(&p.model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let report = decryptor
+        .run_brokered_with(
+            p.model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(attack_seed),
+            &coord,
+        )
+        .expect("distributed run");
+    let d = coord.report();
+    (report, d)
+}
+
+fn cleanup(model_path: &std::path::Path) {
+    let _ = std::fs::remove_file(model_path);
+}
+
+fn arg_or<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

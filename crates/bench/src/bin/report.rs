@@ -25,6 +25,10 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 fn main() -> ExitCode {
+    // The distributed section spawns this binary as its worker process.
+    if relock_bench::maybe_dist_worker() {
+        return ExitCode::SUCCESS;
+    }
     let args: Vec<String> = std::env::args().collect();
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH.json".to_string());
     let repeats: usize = flag_value(&args, "--repeats")

@@ -110,6 +110,7 @@ pub fn run_campaign_soak(
                     ..CampaignConfig::default()
                 },
             )
+            .expect("soak hub has no admission cap")
         })
         .collect();
 
@@ -128,16 +129,18 @@ pub fn run_campaign_soak(
             .map_err(|e| e.to_string())?
             .ok_or("paused campaign 0 left no checkpoint frame")?;
         let hub2 = CampaignHub::new(1, cache_cap);
-        let id2 = hub2.submit_checkpointed(
-            p.model.clone(),
-            CampaignConfig {
-                seed: seeds[0],
-                tenant: "alice".to_string(),
-                weight: 2,
-                ..CampaignConfig::default()
-            },
-            frame,
-        );
+        let id2 = hub2
+            .submit_checkpointed(
+                p.model.clone(),
+                CampaignConfig {
+                    seed: seeds[0],
+                    tenant: "alice".to_string(),
+                    weight: 2,
+                    ..CampaignConfig::default()
+                },
+                frame,
+            )
+            .expect("fresh hub has no admission cap");
         hub.cancel(ids[0]).map_err(|e| e.to_string())?;
         migration = Some((references[&seeds[0]].clone(), hub2, id2));
     }

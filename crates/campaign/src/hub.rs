@@ -290,6 +290,15 @@ pub enum HubError {
     InvalidState(&'static str),
     /// A wait timed out before the campaign reached the awaited state.
     Timeout,
+    /// The hub's admission cap is full: `live` non-terminal campaigns
+    /// against a cap of `cap`. Submit again once one finishes — nothing
+    /// about the rejected campaign was retained.
+    Overloaded {
+        /// Non-terminal campaigns at rejection time.
+        live: usize,
+        /// The configured admission cap.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for HubError {
@@ -298,6 +307,9 @@ impl std::fmt::Display for HubError {
             HubError::UnknownCampaign(id) => write!(f, "unknown campaign {id}"),
             HubError::InvalidState(why) => write!(f, "invalid state: {why}"),
             HubError::Timeout => write!(f, "timed out waiting for campaign state"),
+            HubError::Overloaded { live, cap } => {
+                write!(f, "hub overloaded: {live} live campaigns at cap {cap}")
+            }
         }
     }
 }
@@ -363,12 +375,30 @@ pub struct CampaignHub {
     campaigns: Mutex<HashMap<u64, Arc<CampaignHandle>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     next_id: AtomicU64,
+    /// Admission cap: maximum non-terminal campaigns resident at once
+    /// (`None` = unbounded, the library default). Each live campaign owns
+    /// a worker thread, so an uncapped daemon exposed to the network
+    /// grows threads without bound — the server always sets a cap.
+    max_live: Option<usize>,
 }
 
 impl CampaignHub {
     /// A hub with `slots` concurrent run slots and a shared cache capped
-    /// at `cache_byte_cap` bytes (`None` = unbounded).
+    /// at `cache_byte_cap` bytes (`None` = unbounded). No admission cap;
+    /// see [`CampaignHub::with_admission_cap`].
     pub fn new(slots: usize, cache_byte_cap: Option<usize>) -> Arc<CampaignHub> {
+        Self::with_admission_cap(slots, cache_byte_cap, None)
+    }
+
+    /// Like [`CampaignHub::new`], additionally refusing new submissions
+    /// with [`HubError::Overloaded`] while `max_live` campaigns are in a
+    /// non-terminal state. Terminal campaigns stay queryable and never
+    /// count against the cap.
+    pub fn with_admission_cap(
+        slots: usize,
+        cache_byte_cap: Option<usize>,
+        max_live: Option<usize>,
+    ) -> Arc<CampaignHub> {
         let shared = match cache_byte_cap {
             Some(cap) => relock_serve::SharedCache::bounded(cap),
             None => relock_serve::SharedCache::unbounded(),
@@ -379,12 +409,17 @@ impl CampaignHub {
             campaigns: Mutex::new(HashMap::new()),
             workers: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            max_live,
         })
     }
 
     /// Submits a campaign and returns its id. The campaign starts running
     /// as soon as the scheduler grants its tenant a slot.
-    pub fn submit(&self, model: LockedModel, cfg: CampaignConfig) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Overloaded`] when the admission cap is full.
+    pub fn submit(&self, model: LockedModel, cfg: CampaignConfig) -> Result<u64, HubError> {
         self.launch(model, cfg, None)
     }
 
@@ -392,16 +427,54 @@ impl CampaignHub {
     /// frame (see [`CampaignHub::checkpoint_bytes`]) — the migration path
     /// across a daemon restart. An incompatible or corrupt frame falls
     /// back to a fresh run, mirroring `Decryptor::resume`.
+    ///
+    /// # Errors
+    ///
+    /// [`HubError::Overloaded`] when the admission cap is full.
     pub fn submit_checkpointed(
         &self,
         model: LockedModel,
         cfg: CampaignConfig,
         checkpoint: Vec<u8>,
-    ) -> u64 {
+    ) -> Result<u64, HubError> {
         self.launch(model, cfg, Some(checkpoint))
     }
 
-    fn launch(&self, model: LockedModel, cfg: CampaignConfig, checkpoint: Option<Vec<u8>>) -> u64 {
+    /// Non-terminal campaigns currently resident.
+    pub fn live_campaigns(&self) -> usize {
+        self.campaigns
+            .lock()
+            .expect("campaign table poisoned")
+            .values()
+            .filter(|h| {
+                !h.view
+                    .lock()
+                    .expect("campaign view poisoned")
+                    .state
+                    .is_terminal()
+            })
+            .count()
+    }
+
+    fn launch(
+        &self,
+        model: LockedModel,
+        cfg: CampaignConfig,
+        checkpoint: Option<Vec<u8>>,
+    ) -> Result<u64, HubError> {
+        if let Some(cap) = self.max_live {
+            // Admission control *before* any per-campaign state exists:
+            // a rejected submission leaves no handle, no thread, and no
+            // scheduler weight behind. The count can race a concurrent
+            // completion, in which case a submission is rejected a moment
+            // longer than strictly necessary — never admitted over cap
+            // beyond the submissions racing each other.
+            let live = self.live_campaigns();
+            if live >= cap {
+                relock_trace::counter("campaign.overloaded", 1);
+                return Err(HubError::Overloaded { live, cap });
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.sched.set_weight(&cfg.tenant, cfg.weight);
         let sink = match &cfg.checkpoint_path {
@@ -462,7 +535,7 @@ impl CampaignHub {
             .lock()
             .expect("worker table poisoned")
             .push(worker);
-        id
+        Ok(id)
     }
 
     fn handle(&self, id: u64) -> Result<Arc<CampaignHandle>, HubError> {
@@ -852,13 +925,15 @@ mod tests {
         let model = tiny_model(900);
         let expected = reference_key(&model, 31);
         let hub = CampaignHub::new(2, None);
-        let id = hub.submit(
-            model,
-            CampaignConfig {
-                seed: 31,
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 31,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         let view = hub
             .wait_terminal(id, Duration::from_secs(60))
             .expect("campaign finishes");
@@ -876,8 +951,8 @@ mod tests {
             seed: 77,
             ..CampaignConfig::default()
         };
-        let a = hub.submit(model.clone(), cfg.clone());
-        let b = hub.submit(model, cfg);
+        let a = hub.submit(model.clone(), cfg.clone()).unwrap();
+        let b = hub.submit(model, cfg).unwrap();
         let va = hub.wait_terminal(a, Duration::from_secs(60)).unwrap();
         let vb = hub.wait_terminal(b, Duration::from_secs(60)).unwrap();
         assert_eq!(va.state, CampaignState::Completed);
@@ -901,21 +976,23 @@ mod tests {
         let model = tiny_model(902);
         let expected = reference_key(&model, 55);
         let hub = CampaignHub::new(1, None);
-        let id = hub.submit(
-            model.clone(),
-            CampaignConfig {
-                seed: 55,
-                // A permanent latency floor slows the campaign enough for
-                // the pause request to land before completion.
-                chaos: Some(ChaosConfig {
-                    seed: 9,
-                    latency_spike_rate: 1.0,
-                    latency_spike: Duration::from_millis(2),
-                    ..ChaosConfig::default()
-                }),
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model.clone(),
+                CampaignConfig {
+                    seed: 55,
+                    // A permanent latency floor slows the campaign enough for
+                    // the pause request to land before completion.
+                    chaos: Some(ChaosConfig {
+                        seed: 9,
+                        latency_spike_rate: 1.0,
+                        latency_spike: Duration::from_millis(2),
+                        ..ChaosConfig::default()
+                    }),
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         std::thread::sleep(Duration::from_millis(30));
         // The campaign may already be terminal; pause only if still live.
         let _ = hub.pause(id);
@@ -929,14 +1006,16 @@ mod tests {
             // "Daemon restart": a second hub, fresh cache, resumed from
             // the migrated frame.
             let hub2 = CampaignHub::new(1, None);
-            let id2 = hub2.submit_checkpointed(
-                model,
-                CampaignConfig {
-                    seed: 55,
-                    ..CampaignConfig::default()
-                },
-                frame,
-            );
+            let id2 = hub2
+                .submit_checkpointed(
+                    model,
+                    CampaignConfig {
+                        seed: 55,
+                        ..CampaignConfig::default()
+                    },
+                    frame,
+                )
+                .unwrap();
             let done = hub2.wait_terminal(id2, Duration::from_secs(60)).unwrap();
             assert_eq!(done.state, CampaignState::Completed);
             assert_eq!(done.key.as_ref(), Some(&expected));
@@ -953,13 +1032,15 @@ mod tests {
     fn cancel_stops_a_held_campaign() {
         let model = tiny_model(903);
         let hub = CampaignHub::new(1, None);
-        let id = hub.submit(
-            model,
-            CampaignConfig {
-                seed: 3,
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 3,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         // Cancel can race completion on a tiny model; both ends are fine,
         // but the campaign must reach a terminal state promptly.
         let _ = hub.cancel(id);
@@ -976,14 +1057,16 @@ mod tests {
         let model = tiny_model(904);
         let expected = reference_key(&model, 21);
         let hub = CampaignHub::new(1, None);
-        let id = hub.submit(
-            model,
-            CampaignConfig {
-                seed: 21,
-                chaos: Some(ChaosConfig::crash_only(5, vec![40, 90])),
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 21,
+                    chaos: Some(ChaosConfig::crash_only(5, vec![40, 90])),
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
         assert_eq!(view.state, CampaignState::Completed);
         assert_eq!(view.key.as_ref(), Some(&expected));
@@ -995,14 +1078,16 @@ mod tests {
     fn query_budget_bounds_underlying_traffic() {
         let model = tiny_model(905);
         let hub = CampaignHub::new(1, None);
-        let id = hub.submit(
-            model,
-            CampaignConfig {
-                seed: 11,
-                query_budget: Some(10),
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 11,
+                    query_budget: Some(10),
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
         // The attack degrades on exhaustion rather than erroring whenever
         // it already holds a key candidate, so either terminal state is
@@ -1024,18 +1109,69 @@ mod tests {
     }
 
     #[test]
+    fn admission_cap_rejects_then_recovers() {
+        let model = tiny_model(907);
+        let hub = CampaignHub::with_admission_cap(1, None, Some(1));
+        // A permanent latency floor keeps the first campaign live long
+        // enough for the second submission to hit the cap.
+        let id = hub
+            .submit(
+                model.clone(),
+                CampaignConfig {
+                    seed: 61,
+                    chaos: Some(ChaosConfig {
+                        seed: 3,
+                        latency_spike_rate: 1.0,
+                        latency_spike: Duration::from_millis(2),
+                        ..ChaosConfig::default()
+                    }),
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("first submission fits the cap");
+        let err = hub
+            .submit(
+                model.clone(),
+                CampaignConfig {
+                    seed: 62,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect_err("cap of 1 with a live campaign must reject");
+        assert_eq!(err, HubError::Overloaded { live: 1, cap: 1 });
+        // The rejected submission left nothing behind, and capacity
+        // returns once the live campaign is terminal.
+        assert_eq!(hub.live_campaigns(), 1);
+        hub.cancel(id).unwrap();
+        hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        let id2 = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 63,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("capacity freed by the terminal campaign");
+        let view = hub.wait_terminal(id2, Duration::from_secs(60)).unwrap();
+        assert_eq!(view.state, CampaignState::Completed);
+    }
+
+    #[test]
     fn unknown_ids_and_monolithic_pause_are_rejected() {
         let model = tiny_model(906);
         let hub = CampaignHub::new(1, None);
         assert_eq!(hub.status(99).unwrap_err(), HubError::UnknownCampaign(99));
-        let id = hub.submit(
-            model,
-            CampaignConfig {
-                seed: 13,
-                monolithic: true,
-                ..CampaignConfig::default()
-            },
-        );
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 13,
+                    monolithic: true,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
         assert!(matches!(hub.pause(id), Err(HubError::InvalidState(_))));
         let view = hub.wait_terminal(id, Duration::from_secs(60)).unwrap();
         assert_eq!(view.state, CampaignState::Completed);

@@ -36,4 +36,4 @@ pub use client::Client;
 pub use hub::{CampaignConfig, CampaignHub, CampaignState, CampaignView, HubCacheStats, HubError};
 pub use proto::{read_frame, write_frame, ProtoError, Request, MAX_FRAME_BYTES};
 pub use sched::{FairScheduler, SlotGuard};
-pub use server::{serve_forever, Listener, ServerHandle};
+pub use server::{serve_forever, Listener, ServerConfig, ServerHandle};

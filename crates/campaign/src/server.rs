@@ -26,6 +26,24 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Hard-coded tunables of the daemon's network surface. A connection
+/// that sends no frame for [`ServerConfig::read_deadline`] is dropped —
+/// idle clients must reconnect rather than pin a thread forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Per-connection read deadline: the longest the daemon waits for the
+    /// next frame before dropping the connection (`None` = wait forever).
+    pub read_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
 /// A connected byte stream of either transport.
 #[derive(Debug)]
 pub(crate) enum Stream {
@@ -136,11 +154,20 @@ impl ServerHandle {
     /// handle reports the bound address (useful with `tcp:127.0.0.1:0`)
     /// and joins the daemon on [`ServerHandle::join`].
     pub fn spawn(hub: Arc<CampaignHub>, addr: &str) -> io::Result<ServerHandle> {
+        Self::spawn_with(hub, addr, ServerConfig::default())
+    }
+
+    /// Like [`ServerHandle::spawn`] with explicit network tunables.
+    pub fn spawn_with(
+        hub: Arc<CampaignHub>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = Listener::bind(addr)?;
         let bound = listener.local_addr();
         let thread = std::thread::Builder::new()
             .name("campaign-daemon".to_string())
-            .spawn(move || accept_loop(hub, listener))
+            .spawn(move || accept_loop(hub, listener, cfg))
             .expect("spawning the daemon thread failed");
         Ok(ServerHandle {
             addr: bound,
@@ -163,11 +190,11 @@ impl ServerHandle {
 /// blocking entry point behind `relock serve`.
 pub fn serve_forever(hub: Arc<CampaignHub>, addr: &str) -> io::Result<()> {
     let listener = Listener::bind(addr)?;
-    accept_loop(hub, listener);
+    accept_loop(hub, listener, ServerConfig::default());
     Ok(())
 }
 
-fn accept_loop(hub: Arc<CampaignHub>, listener: Listener) {
+fn accept_loop(hub: Arc<CampaignHub>, listener: Listener, cfg: ServerConfig) {
     let shutdown = Arc::new(AtomicBool::new(false));
     if listener.set_nonblocking(true).is_err() {
         return;
@@ -181,7 +208,14 @@ fn accept_loop(hub: Arc<CampaignHub>, listener: Listener) {
                     Stream::Tcp(s) => s.set_nonblocking(false).is_ok(),
                     Stream::Unix(s) => s.set_nonblocking(false).is_ok(),
                 };
-                if !blocking_ok {
+                // The read deadline turns an abandoned half-open
+                // connection into a `WouldBlock`/`TimedOut` read error,
+                // which `serve_connection` treats as a hang-up.
+                let deadline_ok = match &stream {
+                    Stream::Tcp(s) => s.set_read_timeout(cfg.read_deadline).is_ok(),
+                    Stream::Unix(s) => s.set_read_timeout(cfg.read_deadline).is_ok(),
+                };
+                if !blocking_ok || !deadline_ok {
                     continue;
                 }
                 let hub = Arc::clone(&hub);
@@ -204,6 +238,8 @@ fn serve_connection(hub: Arc<CampaignHub>, shutdown: Arc<AtomicBool>, mut stream
         let doc = match read_frame(&mut stream) {
             Ok(Some(doc)) => doc,
             Ok(None) => return, // client hung up cleanly
+            // An Io error is a dead or *idle-past-deadline* connection
+            // (WouldBlock/TimedOut from the read deadline): drop it.
             Err(ProtoError::Io(_)) => return,
             Err(ProtoError::Malformed(why)) => {
                 // One protocol error poisons the framing; answer and drop.
@@ -226,6 +262,7 @@ fn hub_error(e: HubError) -> Value {
         HubError::UnknownCampaign(_) => "unknown_campaign",
         HubError::InvalidState(_) => "invalid_state",
         HubError::Timeout => "timeout",
+        HubError::Overloaded { .. } => "overloaded",
     };
     err_response(code, &e.to_string())
 }
@@ -302,7 +339,10 @@ fn dispatch(hub: &Arc<CampaignHub>, shutdown: &AtomicBool, request: Request) -> 
                 Some(bytes) => hub.submit_checkpointed(model, cfg, bytes),
                 None => hub.submit(model, cfg),
             };
-            ok_response(vec![("id".into(), Value::num_u64(id))])
+            match id {
+                Ok(id) => ok_response(vec![("id".into(), Value::num_u64(id))]),
+                Err(e) => hub_error(e),
+            }
         }
         Request::Status { id } => match hub.status(id) {
             Ok(view) => ok_response(vec![("campaign".into(), view_value(&view))]),

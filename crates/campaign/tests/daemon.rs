@@ -7,7 +7,7 @@
 //! one-shot in-process reference run.
 
 use relock_attack::{AttackConfig, Decryptor};
-use relock_campaign::{CampaignHub, Client, Request, ServerHandle};
+use relock_campaign::{CampaignHub, Client, Request, ServerConfig, ServerHandle};
 use relock_locking::{CountingOracle, LockSpec, LockedModel};
 use relock_nn::{build_mlp, MlpSpec};
 use relock_tensor::rng::Prng;
@@ -195,6 +195,74 @@ fn unix_socket_daemon_speaks_the_same_protocol() {
     client.call_ok(&Request::Shutdown).expect("shutdown");
     server.join();
     assert!(!socket.exists(), "socket file cleaned up on exit");
+    std::fs::remove_file(&model_path).ok();
+}
+
+#[test]
+fn idle_connection_is_dropped_at_the_read_deadline() {
+    let hub = CampaignHub::new(1, None);
+    let server = ServerHandle::spawn_with(
+        hub,
+        "tcp:127.0.0.1:0",
+        ServerConfig {
+            read_deadline: Some(Duration::from_millis(100)),
+        },
+    )
+    .unwrap();
+    let hostport = server.addr().strip_prefix("tcp:").unwrap().to_string();
+
+    // A client that connects and never speaks: the daemon must drop it
+    // (read returns EOF on our side) instead of pinning the connection
+    // thread forever.
+    use std::io::Read;
+    let mut idle = std::net::TcpStream::connect(&hostport).unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    let n = idle.read(&mut buf).expect("daemon closes, not resets");
+    assert_eq!(n, 0, "expected EOF from the dropped idle connection");
+
+    // A live client on the same daemon is unaffected as long as it keeps
+    // talking within the deadline.
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.call_ok(&Request::Ping).expect("ping");
+    client.call_ok(&Request::Shutdown).unwrap();
+    server.join();
+}
+
+#[test]
+fn full_hub_rejects_submissions_with_the_overloaded_code() {
+    let dir = std::env::temp_dir().join(format!("relock-daemon-cap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("victim-cap.rlk");
+    let model = tiny_model(4300);
+    save_model(&model, &model_path);
+
+    // Cap of zero: every submission is over cap — the wire answer must be
+    // the typed `overloaded` error, not a hung or crashed daemon.
+    let hub = CampaignHub::with_admission_cap(1, None, Some(0));
+    let server = ServerHandle::spawn(hub, "tcp:127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client
+        .call_ok(&Request::Submit {
+            model_path: model_path.display().to_string(),
+            tenant: "mallory".into(),
+            seed: 5,
+            weight: 1,
+            budget: None,
+            threads: 1,
+            fast: true,
+            monolithic: false,
+            checkpoint: None,
+        })
+        .unwrap_err();
+    assert!(err.starts_with("overloaded"), "got {err}");
+    // The daemon stays healthy after rejecting.
+    client
+        .call_ok(&Request::Ping)
+        .expect("ping after rejection");
+    client.call_ok(&Request::Shutdown).unwrap();
+    server.join();
     std::fs::remove_file(&model_path).ok();
 }
 

@@ -119,6 +119,120 @@ pub struct PausedSession {
     pub stats: QueryStatsSnapshot,
 }
 
+/// Executes the *sharded* phases of Algorithm 2 — per-site algebraic
+/// inference and correction-wave validation — on behalf of the driver.
+///
+/// The driver owns everything that makes the run deterministic: it forks
+/// one PRNG stream per item in canonical order *before* calling the
+/// executor, and it interprets the returned vectors in canonical item
+/// order. An executor is therefore free to schedule items however it
+/// likes (threads, worker processes, remote machines) as long as item `i`
+/// consumes exactly `rngs[i]` and lands its result in position `i` — the
+/// same contract `run_sharded` honours in-process (DESIGN.md §3e, §4b).
+///
+/// Serial phases (learning attack, layer validation, target selection)
+/// never go through the executor; they stay on the driver's thread.
+pub trait PhaseExecutor: Sync {
+    /// Runs Algorithm 1 on every site of a layer. Item `i` must evaluate
+    /// `key_bit_inference_with` for `sites[i]` on a clone of `rngs[i]`,
+    /// and the result vector must be in site order.
+    fn infer_sites(
+        &self,
+        g: &Graph,
+        ka: &KeyAssignment,
+        sites: &[LockSite],
+        oracle: &dyn Oracle,
+        cfg: &AttackConfig,
+        rngs: &[Prng],
+    ) -> InferredBits;
+
+    /// Validates one §3.8 correction wave. Item `i` must flip `wave[i]`'s
+    /// bits on a **clone** of `base` (the base assignment is never
+    /// mutated) and validate on a clone of `rngs[i]`; the verdict vector
+    /// must be in candidate order.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_wave(
+        &self,
+        g: &Graph,
+        base: &KeyAssignment,
+        layer_slots: &[KeySlot],
+        wave: &[Vec<usize>],
+        target: Option<&ValidationTarget>,
+        oracle: &dyn Oracle,
+        cfg: &AttackConfig,
+        rngs: &[Prng],
+    ) -> Vec<Result<ValidationVerdict, OracleError>>;
+}
+
+/// The in-process [`PhaseExecutor`]: shards items across
+/// `AttackConfig::threads` scoped worker threads pulling from a shared
+/// atomic counter (see `run_sharded`). This is what every entry point
+/// without an explicit executor uses, and what the distributed
+/// coordinator falls back to when its circuit breaker opens.
+#[derive(Debug, Default)]
+pub struct LocalExecutor {
+    pool: WorkspacePool,
+}
+
+impl LocalExecutor {
+    /// Creates an executor with an empty workspace pool. Workspaces are
+    /// created on demand and reused across phases and layers.
+    pub fn new() -> Self {
+        LocalExecutor {
+            pool: WorkspacePool::new(),
+        }
+    }
+}
+
+impl PhaseExecutor for LocalExecutor {
+    /// **Determinism contract (DESIGN.md §3e):** the driver forked one
+    /// PRNG stream per site in canonical site order, so each site's
+    /// search consumes its own stream, independent of scheduling, and
+    /// results merge back in canonical site order. The sequential and
+    /// parallel paths are therefore bit-identical.
+    fn infer_sites(
+        &self,
+        g: &Graph,
+        ka: &KeyAssignment,
+        sites: &[LockSite],
+        oracle: &dyn Oracle,
+        cfg: &AttackConfig,
+        rngs: &[Prng],
+    ) -> InferredBits {
+        run_sharded(&self.pool, cfg.threads, sites.len(), |i, ws| {
+            let site = &sites[i];
+            let mut site_rng = rngs[i].clone();
+            (
+                site.slot,
+                key_bit_inference_with(g, ws, ka, site, oracle, cfg, &mut site_rng),
+            )
+        })
+    }
+
+    fn validate_wave(
+        &self,
+        g: &Graph,
+        base: &KeyAssignment,
+        layer_slots: &[KeySlot],
+        wave: &[Vec<usize>],
+        target: Option<&ValidationTarget>,
+        oracle: &dyn Oracle,
+        cfg: &AttackConfig,
+        rngs: &[Prng],
+    ) -> Vec<Result<ValidationVerdict, OracleError>> {
+        run_sharded(&self.pool, cfg.threads, wave.len(), |i, ws| {
+            let mut trial = base.clone();
+            for &flip in &wave[i] {
+                let s = layer_slots[flip];
+                let cur = trial.to_bits()[s.index()];
+                trial.set_bit(s, !cur);
+            }
+            let mut cand_rng = rngs[i].clone();
+            key_vector_validation_checked_with(g, ws, &trial, target, oracle, cfg, &mut cand_rng)
+        })
+    }
+}
+
 /// The DNN decryption attack (Algorithm 2).
 #[derive(Debug, Clone)]
 pub struct Decryptor {
@@ -185,7 +299,26 @@ impl Decryptor {
         broker: &Broker<O>,
         rng: &mut Prng,
     ) -> Result<DecryptionReport, AttackError> {
-        Self::completed(self.drive(white_box, broker, rng, None, None, None)?)
+        Self::completed(self.drive(white_box, broker, rng, None, None, None, None)?)
+    }
+
+    /// Runs the attack like [`Decryptor::run_brokered`], delegating the
+    /// sharded phases (per-site inference, correction waves) to a
+    /// caller-supplied [`PhaseExecutor`] — e.g. a multi-process
+    /// coordinator. The determinism contract guarantees the result is
+    /// bit-identical to the in-process run for any conforming executor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::run`].
+    pub fn run_brokered_with<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        executor: &dyn PhaseExecutor,
+    ) -> Result<DecryptionReport, AttackError> {
+        Self::completed(self.drive(white_box, broker, rng, None, None, None, Some(executor))?)
     }
 
     /// Unwraps a [`SessionOutcome`] from a drive that was given no pause
@@ -215,7 +348,42 @@ impl Decryptor {
         sink: &dyn CheckpointSink,
         policy: CheckpointPolicy,
     ) -> Result<DecryptionReport, AttackError> {
-        Self::completed(self.drive(white_box, broker, rng, None, Some((sink, policy)), None)?)
+        Self::completed(self.drive(
+            white_box,
+            broker,
+            rng,
+            None,
+            Some((sink, policy)),
+            None,
+            None,
+        )?)
+    }
+
+    /// Runs the attack like [`Decryptor::run_with_checkpoints`],
+    /// delegating the sharded phases to `executor` (see
+    /// [`Decryptor::run_brokered_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::run_with_checkpoints`].
+    pub fn run_checkpointed_with<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        sink: &dyn CheckpointSink,
+        policy: CheckpointPolicy,
+        executor: &dyn PhaseExecutor,
+    ) -> Result<DecryptionReport, AttackError> {
+        Self::completed(self.drive(
+            white_box,
+            broker,
+            rng,
+            None,
+            Some((sink, policy)),
+            None,
+            Some(executor),
+        )?)
     }
 
     /// Continues a checkpointed run, or starts fresh when the sink holds
@@ -254,6 +422,36 @@ impl Decryptor {
             state,
             Some((sink, policy)),
             None,
+            None,
+        )?)?;
+        Ok((report, status))
+    }
+
+    /// Continues a checkpointed run like [`Decryptor::resume`], delegating
+    /// the sharded phases to `executor` (see
+    /// [`Decryptor::run_brokered_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decryptor::resume`].
+    pub fn resume_with<O: Oracle>(
+        &self,
+        white_box: &Graph,
+        broker: &Broker<O>,
+        rng: &mut Prng,
+        sink: &dyn CheckpointSink,
+        policy: CheckpointPolicy,
+        executor: &dyn PhaseExecutor,
+    ) -> Result<(DecryptionReport, ResumeStatus), AttackError> {
+        let (state, status) = Self::load_state(sink, white_box);
+        let report = Self::completed(self.drive(
+            white_box,
+            broker,
+            rng,
+            state,
+            Some((sink, policy)),
+            None,
+            Some(executor),
         )?)?;
         Ok((report, status))
     }
@@ -290,6 +488,7 @@ impl Decryptor {
             state,
             Some((sink, policy)),
             Some(pause),
+            None,
         )?;
         Ok((outcome, status))
     }
@@ -367,6 +566,7 @@ impl Decryptor {
     /// `resume_state` restores a previous segment's cut; `ckpt` persists
     /// new cuts as the run progresses; `pause` (meaningful only with a
     /// sink) requests a cooperative stop at the next cut.
+    #[allow(clippy::too_many_arguments)]
     fn drive<O: Oracle>(
         &self,
         white_box: &Graph,
@@ -375,6 +575,7 @@ impl Decryptor {
         resume_state: Option<AttackState>,
         ckpt: Option<(&dyn CheckpointSink, CheckpointPolicy)>,
         pause: Option<&AtomicBool>,
+        executor: Option<&dyn PhaseExecutor>,
     ) -> Result<SessionOutcome, AttackError> {
         let cfg = &self.cfg;
         let oracle: &dyn Oracle = broker;
@@ -391,11 +592,17 @@ impl Decryptor {
         // evaluation of the serial phases (witness searches, Jacobians,
         // validation probes) reuses its buffers.
         let mut ws = Workspace::new();
-        // Shared workspace pool for the sharded phases (per-site inference,
-        // correction waves): workers check workspaces out per shard, so the
-        // pool holds at most `threads` workspaces whose buffers survive
-        // across layers and phases.
-        let pool = WorkspacePool::new();
+        // The sharded phases (per-site inference, correction waves) go to
+        // the caller's executor, or to a fresh in-process one whose
+        // workspace pool survives across layers and phases.
+        let local_executor;
+        let executor: &dyn PhaseExecutor = match executor {
+            Some(e) => e,
+            None => {
+                local_executor = LocalExecutor::new();
+                &local_executor
+            }
+        };
 
         // Session state: fresh defaults, or the snapshot's restoration.
         let mut timing;
@@ -565,7 +772,11 @@ impl Decryptor {
                 } else {
                     broker.set_scope(Some(Procedure::KeyBitInference.label()));
                     timing.time(Procedure::KeyBitInference, || {
-                        self.infer_layer(white_box, &pool, &ka, layer_sites, oracle, rng)
+                        // Forked in canonical site order — the parent
+                        // stream advances by exactly `sites.len()`, no
+                        // matter who executes the items or in what order.
+                        let rngs: Vec<Prng> = layer_sites.iter().map(|_| rng.fork()).collect();
+                        executor.infer_sites(white_box, &ka, layer_sites, oracle, cfg, &rngs)
                     })
                 };
                 for (slot, bit) in &inf {
@@ -856,14 +1067,14 @@ impl Decryptor {
                     // stream advances by exactly `wave.len()`, regardless
                     // of how the wave is scheduled.
                     let wave_rngs: Vec<Prng> = wave.iter().map(|_| rng.fork()).collect();
-                    let verdicts = self.validate_wave(
+                    let verdicts = executor.validate_wave(
                         white_box,
-                        &pool,
                         &ka,
                         &layer_slots,
                         wave,
                         target.as_ref(),
                         oracle,
+                        cfg,
                         &wave_rngs,
                     );
                     for (cand, verdict) in wave.iter().zip(&verdicts) {
@@ -948,66 +1159,6 @@ impl Decryptor {
             stats,
             layers: layers_out,
         }))
-    }
-
-    /// Runs Algorithm 1 on every site of a layer, sharded across the
-    /// configured worker threads.
-    ///
-    /// **Determinism contract (DESIGN.md §3e):** one PRNG stream is forked
-    /// per site, in canonical site order, at *every* thread count — so the
-    /// parent stream advances by exactly `sites.len()` and each site's
-    /// search consumes its own stream, independent of scheduling. Results
-    /// are merged back in canonical site order. The sequential and parallel
-    /// paths are therefore bit-identical.
-    fn infer_layer(
-        &self,
-        g: &Graph,
-        pool: &WorkspacePool,
-        ka: &KeyAssignment,
-        sites: &[LockSite],
-        oracle: &dyn Oracle,
-        rng: &mut Prng,
-    ) -> InferredBits {
-        let cfg = &self.cfg;
-        let rngs: Vec<Prng> = sites.iter().map(|_| rng.fork()).collect();
-        run_sharded(pool, cfg.threads, sites.len(), |i, ws| {
-            let site = &sites[i];
-            let mut site_rng = rngs[i].clone();
-            (
-                site.slot,
-                key_bit_inference_with(g, ws, ka, site, oracle, cfg, &mut site_rng),
-            )
-        })
-    }
-
-    /// Validates one §3.8 correction wave, sharded across the configured
-    /// worker threads. Each candidate flips its bits on a **clone** of the
-    /// base assignment and consumes its own pre-forked PRNG stream, so the
-    /// verdict vector is bit-identical at every thread count and the base
-    /// assignment is never mutated here.
-    #[allow(clippy::too_many_arguments)]
-    fn validate_wave(
-        &self,
-        g: &Graph,
-        pool: &WorkspacePool,
-        base: &KeyAssignment,
-        layer_slots: &[KeySlot],
-        wave: &[Vec<usize>],
-        target: Option<&ValidationTarget>,
-        oracle: &dyn Oracle,
-        rngs: &[Prng],
-    ) -> Vec<Result<ValidationVerdict, OracleError>> {
-        let cfg = &self.cfg;
-        run_sharded(pool, cfg.threads, wave.len(), |i, ws| {
-            let mut trial = base.clone();
-            for &flip in &wave[i] {
-                let s = layer_slots[flip];
-                let cur = trial.to_bits()[s.index()];
-                trial.set_bit(s, !cur);
-            }
-            let mut cand_rng = rngs[i].clone();
-            key_vector_validation_checked_with(g, ws, &trial, target, oracle, cfg, &mut cand_rng)
-        })
     }
 
     /// Chooses the next layer's probe elements: up to `validation_neurons`

@@ -77,9 +77,12 @@ pub use correct::{correction_candidates, correction_plan};
 pub use critical::{
     search_critical_point, search_target_critical_point, CriticalPoint, TargetScalar,
 };
-pub use decrypt::{DecryptionReport, Decryptor, LayerReport, PausedSession, SessionOutcome};
+pub use decrypt::{
+    DecryptionReport, Decryptor, LayerReport, LocalExecutor, PausedSession, PhaseExecutor,
+    SessionOutcome,
+};
 pub use error::AttackError;
-pub use infer::{key_bit_inference, InferredBits};
+pub use infer::{key_bit_inference, key_bit_inference_with, InferredBits};
 pub use learning::{
     learning_attack, multipliers_from_pairs, multipliers_to_pairs, round_to_bits,
     LearnedMultipliers,
@@ -87,7 +90,7 @@ pub use learning::{
 pub use monolithic::{MonolithicAttack, MonolithicConfig, MonolithicReport};
 pub use telemetry::{Procedure, QueryStats, QueryStatsSnapshot, ScopeCounts, TimingBreakdown};
 pub use validate::{
-    key_vector_validation, key_vector_validation_checked, key_vector_validation_verdict,
-    ValidationTarget, ValidationVerdict,
+    key_vector_validation, key_vector_validation_checked, key_vector_validation_checked_with,
+    key_vector_validation_verdict, ValidationTarget, ValidationVerdict,
 };
 pub use weightlock::{weight_lock_attack, WeightLockReport};

@@ -246,6 +246,7 @@ fn attack_succeeds_through_transient_chaos_with_retries() {
                 max_attempts: 24,
                 base_backoff: Duration::ZERO,
                 multiplier: 1,
+                ..RetryPolicy::default()
             },
             ..BrokerConfig::default()
         },
@@ -302,6 +303,7 @@ fn parallel_attack_under_transient_chaos_keeps_exact_accounting() {
                 max_attempts: 24,
                 base_backoff: Duration::ZERO,
                 multiplier: 1,
+                ..RetryPolicy::default()
             },
             ..BrokerConfig::default()
         },

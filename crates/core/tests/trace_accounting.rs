@@ -117,6 +117,7 @@ fn trace_and_snapshot_books_agree_under_transient_chaos() {
                 max_attempts: 24,
                 base_backoff: Duration::ZERO,
                 multiplier: 1,
+                ..RetryPolicy::default()
             },
             ..BrokerConfig::default()
         },
@@ -166,6 +167,7 @@ fn trace_and_snapshot_books_agree_under_parallel_chaos() {
                 max_attempts: 24,
                 base_backoff: Duration::ZERO,
                 multiplier: 1,
+                ..RetryPolicy::default()
             },
             ..BrokerConfig::default()
         },

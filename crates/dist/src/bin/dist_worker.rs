@@ -1,0 +1,20 @@
+//! Standalone attack worker: connects to a `DistCoordinator` socket and
+//! serves leased work items until told to stop. Normally spawned by the
+//! coordinator itself, never by hand.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(socket), None) = (args.next(), args.next()) else {
+        eprintln!("usage: dist_worker <socket-path>");
+        return ExitCode::from(2);
+    };
+    match relock_dist::worker_main(&socket) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dist_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Multi-process execution of the DAC'24 decryption attack.
+//!
+//! This crate turns the Algorithm-2 driver's [`PhaseExecutor`] seam
+//! (`relock-attack`, DESIGN.md §3e) into a coordinator/worker system:
+//! [`DistCoordinator`] shards each per-site inference and per-candidate
+//! validation phase across local worker processes connected over a Unix
+//! socket speaking the `crates/campaign` length-prefixed JSON frame
+//! protocol, and [`worker_main`] is the worker side, exposed through the
+//! `dist_worker` binary (and the CLI's hidden `dist-worker` subcommand).
+//!
+//! The robustness model — heartbeat deadlines, work-item leases with
+//! at-most-once commit, seeded-jitter respawn backoff, and a circuit
+//! breaker that falls back to in-process execution — is documented on
+//! [`coordinator`](DistCoordinator) and in DESIGN.md §4b. The headline
+//! invariant: with the same seed, 1 worker and N workers produce
+//! byte-for-byte identical keys, query counts, and checkpoint frames,
+//! even while workers are being killed.
+//!
+//! [`PhaseExecutor`]: relock_attack::PhaseExecutor
+
+mod coordinator;
+mod proto;
+mod worker;
+
+pub use coordinator::{DistChaos, DistCoordinator, DistOptions, DistReport};
+pub use proto::{decode_bits, decode_f64s, encode_bits, encode_f64s};
+pub use worker::worker_main;

@@ -1,0 +1,477 @@
+//! Distributed equivalence and process-chaos suite: the multi-process
+//! coordinator at 1, 2, and 4 worker processes must reproduce the
+//! in-process sequential run *exactly* — recovered key, underlying query
+//! count, broker accounting, and every checkpoint frame byte-for-byte —
+//! and must keep doing so while workers are killed mid-query, stall their
+//! heartbeats, or truncate frames on the wire. A kill-and-resume sweep
+//! checks that RLCP checkpoints carry a distributed run across coordinator
+//! crashes, and a budget-exhaustion test checks the circuit breaker's
+//! in-process fallback.
+
+use relock_attack::{
+    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, DecryptionReport, Decryptor,
+};
+use relock_dist::{DistChaos, DistCoordinator, DistOptions, DistReport};
+use relock_locking::{CountingOracle, LockSpec, LockedModel};
+use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
+use relock_serve::{
+    Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, QueryStatsSnapshot,
+};
+use relock_tensor::rng::Prng;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dist_worker")
+}
+
+fn mlp16_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(700);
+    build_mlp(
+        &MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        },
+        LockSpec::evenly(16),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn lenet_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(510);
+    build_lenet(
+        &LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 3,
+            c2: 4,
+            fc1: 10,
+            fc2: 8,
+            classes: 4,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// Saves the victim where worker processes can load it; deleted by
+/// [`ModelFile::drop`] even when an assertion unwinds.
+struct ModelFile {
+    path: PathBuf,
+}
+
+impl ModelFile {
+    fn save(model: &LockedModel) -> ModelFile {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "relock-dist-test-{}-{}.model",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = std::fs::File::create(&path).expect("create model file");
+        model.save(&mut f).expect("save model");
+        ModelFile { path }
+    }
+}
+
+impl Drop for ModelFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Records every persisted frame so whole checkpoint histories compare.
+#[derive(Default)]
+struct RecordingSink {
+    frames: Mutex<Vec<Vec<u8>>>,
+}
+
+impl RecordingSink {
+    fn frames(&self) -> Vec<Vec<u8>> {
+        self.frames.lock().expect("sink poisoned").clone()
+    }
+}
+
+impl CheckpointSink for RecordingSink {
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        self.frames
+            .lock()
+            .expect("sink poisoned")
+            .push(bytes.to_vec());
+        Ok(())
+    }
+
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.frames.lock().expect("sink poisoned").last().cloned())
+    }
+}
+
+/// Zeroes a frame's wall-clock fields; everything else must already be
+/// deterministic.
+fn normalize_frame(frame: &[u8]) -> Vec<u8> {
+    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
+    st.timing_nanos = [0; 4];
+    st.stats.oracle_time = Duration::ZERO;
+    st.encode()
+}
+
+/// Additionally zeroes the whole broker-stats block. Under process-kill
+/// chaos a re-executed item legitimately re-*requests* rows (served from
+/// the memo cache, so `underlying` never moves), which perturbs the
+/// request-side accounting inside frames; the attack state proper — PRNG
+/// streams, key bits, phase cuts — must still be byte-identical.
+fn normalize_frame_no_stats(frame: &[u8]) -> Vec<u8> {
+    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
+    st.timing_nanos = [0; 4];
+    st.stats = QueryStatsSnapshot::default();
+    st.encode()
+}
+
+fn strip_clock(stats: &QueryStatsSnapshot) -> QueryStatsSnapshot {
+    let mut s = stats.clone();
+    s.oracle_time = Duration::ZERO;
+    s
+}
+
+struct RunTrace {
+    report: DecryptionReport,
+    frames: Vec<Vec<u8>>,
+}
+
+/// The in-process sequential reference every distributed run is held to.
+fn sequential_run(model: &LockedModel, cfg: &AttackConfig, attack_seed: u64) -> RunTrace {
+    let oracle = CountingOracle::new(model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let sink = RecordingSink::default();
+    let (report, _status) = Decryptor::new(*cfg)
+        .resume(
+            model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(attack_seed),
+            &sink,
+            CheckpointPolicy::EVERY_CUT,
+        )
+        .unwrap();
+    RunTrace {
+        report,
+        frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
+    }
+}
+
+/// Runs the attack through a [`DistCoordinator`] over real worker
+/// processes.
+fn dist_run(
+    model: &LockedModel,
+    model_file: &ModelFile,
+    cfg: &AttackConfig,
+    attack_seed: u64,
+    opts: DistOptions,
+) -> (RunTrace, DistReport) {
+    let coord = DistCoordinator::new(&model_file.path, opts).expect("bind coordinator socket");
+    let oracle = CountingOracle::new(model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let sink = RecordingSink::default();
+    let (report, _status) = Decryptor::new(*cfg)
+        .resume_with(
+            model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(attack_seed),
+            &sink,
+            CheckpointPolicy::EVERY_CUT,
+            &coord,
+        )
+        .unwrap();
+    let dist_report = coord.report();
+    (
+        RunTrace {
+            report,
+            frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
+        },
+        dist_report,
+    )
+}
+
+/// Asserts every observable the engine promises to keep stable.
+fn assert_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
+    assert_eq!(
+        t.report.key, reference.report.key,
+        "{ctx}: recovered key diverged"
+    );
+    assert_eq!(
+        t.report.queries, reference.report.queries,
+        "{ctx}: underlying query count diverged"
+    );
+    assert_eq!(
+        strip_clock(&t.report.stats),
+        strip_clock(&reference.report.stats),
+        "{ctx}: broker accounting diverged"
+    );
+    assert_eq!(
+        t.frames.len(),
+        reference.frames.len(),
+        "{ctx}: checkpoint cadence diverged"
+    );
+    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
+        assert_eq!(
+            p,
+            r,
+            "{ctx}: checkpoint frame {i} of {} is not byte-identical",
+            reference.frames.len()
+        );
+    }
+}
+
+/// The chaos-robust observables: the key, the paper's underlying query
+/// count, and every checkpoint frame modulo request-side broker stats.
+fn assert_chaos_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
+    assert_eq!(
+        t.report.key, reference.report.key,
+        "{ctx}: recovered key diverged"
+    );
+    assert_eq!(
+        t.report.queries, reference.report.queries,
+        "{ctx}: underlying query count diverged"
+    );
+    assert_eq!(
+        t.frames.len(),
+        reference.frames.len(),
+        "{ctx}: checkpoint cadence diverged"
+    );
+    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
+        assert_eq!(
+            normalize_frame_no_stats(p),
+            normalize_frame_no_stats(r),
+            "{ctx}: checkpoint frame {i} diverged beyond broker stats"
+        );
+    }
+}
+
+/// The headline contract: 1 process == 2 processes == 4 processes,
+/// byte-for-byte, against the in-process sequential reference.
+fn assert_dist_matches_sequential(model: &LockedModel, seeds: &[u64], label: &str) {
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(model);
+    for &seed in seeds {
+        let reference = sequential_run(model, &cfg, seed);
+        assert_eq!(
+            reference.report.fidelity(model.true_key()),
+            1.0,
+            "{label} seed {seed}: sequential reference must recover the key exactly"
+        );
+        for workers in [1usize, 2, 4] {
+            let mut opts = DistOptions::new(worker_bin());
+            opts.workers = workers;
+            let (t, dist) = dist_run(model, &file, &cfg, seed, opts);
+            let ctx = format!("{label} seed {seed} workers {workers}");
+            assert_traces_match(&t, &reference, &ctx);
+            assert_eq!(dist.fell_back, None, "{ctx}: no fallback expected");
+            assert_eq!(dist.respawns, 0, "{ctx}: no respawns expected");
+        }
+    }
+}
+
+#[test]
+fn mlp16_worker_sweep_is_byte_identical_to_sequential() {
+    assert_dist_matches_sequential(&mlp16_victim(), &[701, 702], "mlp16");
+}
+
+#[test]
+fn lenet_worker_sweep_is_byte_identical_to_sequential() {
+    assert_dist_matches_sequential(&lenet_victim(), &[512], "lenet");
+}
+
+/// `kill -9` at scheduled routed-row points: the querying worker dies
+/// before its batch reaches the broker, the lease expires, a replacement
+/// respawns after the seeded backoff, and the final result is still
+/// byte-identical to the sequential run.
+#[test]
+fn process_kill_chaos_recovers_the_exact_key() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(&model);
+    let reference = sequential_run(&model, &cfg, 701);
+    // Kill points live in routed-row space (worker-proxied traffic only),
+    // so anchor them to a clean distributed run's actual totals.
+    let mut probe_opts = DistOptions::new(worker_bin());
+    probe_opts.workers = 4;
+    let (_, clean) = dist_run(&model, &file, &cfg, 701, probe_opts);
+    let rows = clean.routed_rows;
+    assert!(
+        rows > 20,
+        "fixture must route enough traffic to kill into: {clean:?}"
+    );
+    let mut opts = DistOptions::new(worker_bin());
+    opts.workers = 4;
+    opts.chaos = DistChaos {
+        kill_at_rows: vec![rows / 10, rows / 4, rows / 2],
+        ..DistChaos::default()
+    };
+    let (t, dist) = dist_run(&model, &file, &cfg, 701, opts);
+    assert_chaos_traces_match(&t, &reference, "mlp16 kill-chaos workers 4");
+    assert!(
+        dist.lease_expiries >= 1,
+        "at least one scheduled kill must fire: {dist:?}"
+    );
+    assert!(
+        dist.respawns >= 1,
+        "killed workers must be respawned: {dist:?}"
+    );
+    assert_eq!(dist.fell_back, None, "budget was not exhausted: {dist:?}");
+}
+
+/// A worker whose heartbeats stop mid-run is declared dead at the
+/// deadline; its leased item is reassigned and the run completes
+/// byte-identically.
+#[test]
+fn stalled_heartbeat_expires_the_lease_and_reassigns() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(&model);
+    let reference = sequential_run(&model, &cfg, 703);
+    let mut opts = DistOptions::new(worker_bin());
+    opts.workers = 2;
+    opts.heartbeat = Duration::from_millis(400);
+    opts.chaos = DistChaos {
+        stall_after_items: Some((0, 1)),
+        ..DistChaos::default()
+    };
+    let (t, dist) = dist_run(&model, &file, &cfg, 703, opts);
+    assert_traces_match(&t, &reference, "mlp16 stalled-heartbeat workers 2");
+    assert!(
+        dist.lease_expiries >= 1,
+        "the stalled worker must expire its lease: {dist:?}"
+    );
+    assert_eq!(dist.fell_back, None, "budget was not exhausted: {dist:?}");
+}
+
+/// A worker that writes a truncated frame and exits is indistinguishable
+/// from wire corruption: the lease expires and the item is recomputed.
+#[test]
+fn truncated_frames_expire_the_lease() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(&model);
+    let reference = sequential_run(&model, &cfg, 702);
+    let mut opts = DistOptions::new(worker_bin());
+    opts.workers = 2;
+    opts.chaos = DistChaos {
+        truncate_after_items: Some((1, 0)),
+        ..DistChaos::default()
+    };
+    let (t, dist) = dist_run(&model, &file, &cfg, 702, opts);
+    assert_traces_match(&t, &reference, "mlp16 truncated-frame workers 2");
+    assert!(
+        dist.lease_expiries >= 1,
+        "the truncating worker must expire its lease: {dist:?}"
+    );
+    assert_eq!(dist.fell_back, None, "budget was not exhausted: {dist:?}");
+}
+
+/// With a zero respawn budget, the first worker death opens the circuit
+/// breaker: the run *falls back* to in-process execution — never a panic —
+/// and still recovers the exact key with the exact query count.
+#[test]
+fn exhausted_respawn_budget_falls_back_in_process() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(&model);
+    let reference = sequential_run(&model, &cfg, 701);
+    let mut opts = DistOptions::new(worker_bin());
+    opts.workers = 2;
+    opts.heartbeat = Duration::from_millis(400);
+    opts.respawn_budget = 0;
+    opts.chaos = DistChaos {
+        stall_after_items: Some((0, 0)),
+        ..DistChaos::default()
+    };
+    let (t, dist) = dist_run(&model, &file, &cfg, 701, opts);
+    assert_traces_match(&t, &reference, "mlp16 breaker workers 2");
+    assert!(
+        dist.fell_back.is_some(),
+        "the breaker must have opened: {dist:?}"
+    );
+    assert_eq!(dist.respawns, 0, "budget 0 permits no respawns: {dist:?}");
+}
+
+/// Kill-and-resume across RLCP cuts: the *coordinator* process dies (a
+/// `ChaosOracle` panic standing in for SIGKILL) at scheduled points, and
+/// each post-crash segment resumes from the last wave-aligned checkpoint
+/// with a fresh broker AND a fresh coordinator + worker fleet. The final
+/// key must match the uninterrupted sequential run exactly.
+#[test]
+fn kill_and_resume_across_rlcp_cuts_never_loses_the_key() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig::fast();
+    let file = ModelFile::save(&model);
+    let reference = sequential_run(&model, &cfg, 701);
+    let q = reference.report.queries;
+    let crash_at: Vec<u64> = (1..=4).map(|i| i * q / 5).collect();
+    let scheduled = crash_at.len();
+    let chaos = ChaosOracle::new(
+        CountingOracle::new(&model),
+        ChaosConfig::crash_only(9, crash_at),
+    );
+    let dec = Decryptor::new(cfg);
+    let sink = RecordingSink::default();
+    let mut crashes = 0usize;
+    let mut resumed_segments = 0usize;
+    let report = loop {
+        assert!(
+            crashes <= scheduled,
+            "more unwinds than scheduled crash points"
+        );
+        let mut opts = DistOptions::new(worker_bin());
+        opts.workers = 2;
+        let coord = DistCoordinator::new(&file.path, opts).expect("bind coordinator socket");
+        let broker = Broker::with_config(&chaos, BrokerConfig::default());
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Prng::seed_from_u64(701);
+            dec.resume_with(
+                model.white_box(),
+                &broker,
+                &mut rng,
+                &sink,
+                CheckpointPolicy::EVERY_CUT,
+                &coord,
+            )
+        }));
+        match attempt {
+            Ok(Ok((report, status))) => {
+                if crashes > 0 {
+                    assert!(
+                        status.resumed(),
+                        "post-crash segments must resume from a checkpoint, got {status:?}"
+                    );
+                }
+                break report;
+            }
+            Ok(Err(e)) => panic!("attack error during dist soak: {e}"),
+            Err(payload) => {
+                payload
+                    .downcast::<ChaosCrash>()
+                    .expect("only scheduled chaos crashes should unwind");
+                crashes += 1;
+                resumed_segments += 1;
+            }
+        }
+    };
+    assert!(crashes > 0, "the soak must actually crash");
+    assert!(resumed_segments > 0, "the soak must actually resume");
+    assert_eq!(
+        report.key, reference.report.key,
+        "kill-and-resume across RLCP cuts lost the key"
+    );
+    assert_eq!(
+        report.fidelity(model.true_key()),
+        1.0,
+        "resumed distributed run must recover the key exactly"
+    );
+}

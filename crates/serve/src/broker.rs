@@ -30,6 +30,7 @@ use crate::stats::{QueryStats, QueryStatsSnapshot};
 use relock_locking::{Oracle, OracleError};
 use relock_tensor::Tensor;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -83,6 +84,9 @@ pub struct Broker<O> {
     key_ns: Option<u64>,
     budget: QueryBudget,
     stats: QueryStats,
+    /// Monotone dispatch counter, used only to salt retry-backoff jitter:
+    /// concurrent dispatches that fail together must not retry together.
+    dispatch_seq: AtomicU64,
 }
 
 impl<O: Oracle> Broker<O> {
@@ -105,6 +109,7 @@ impl<O: Oracle> Broker<O> {
             key_ns: None,
             budget: QueryBudget::new(config.max_queries, config.deadline),
             stats: QueryStats::new(),
+            dispatch_seq: AtomicU64::new(0),
             config,
         }
     }
@@ -129,6 +134,7 @@ impl<O: Oracle> Broker<O> {
             key_ns: Some(namespace),
             budget: QueryBudget::new(config.max_queries, config.deadline),
             stats: QueryStats::new(),
+            dispatch_seq: AtomicU64::new(0),
             config,
         }
     }
@@ -315,7 +321,11 @@ impl<O: Oracle> Broker<O> {
     /// Sends a miss batch to the backend under the retry policy and pool.
     fn dispatch(&self, x: &Tensor) -> Result<Tensor, OracleError> {
         let mut retries = 0u64;
-        let out = self.config.retry.run(
+        // Each dispatch salts its own jitter stream: shards that hit the
+        // same transient outage back off on decorrelated schedules
+        // instead of thundering back at the oracle in lockstep.
+        let salt = self.dispatch_seq.fetch_add(1, Ordering::Relaxed);
+        let out = self.config.retry.run_salted(
             || {
                 evaluate_sharded(
                     &self.inner,
@@ -325,6 +335,7 @@ impl<O: Oracle> Broker<O> {
                 )
             },
             || retries += 1,
+            salt,
         );
         if retries > 0 {
             self.stats.record_retries(retries);

@@ -133,6 +133,7 @@ fn retries_mask_flaky_transport() {
                 max_attempts: 50,
                 base_backoff: std::time::Duration::ZERO,
                 multiplier: 1,
+                ..RetryPolicy::default()
             },
             ..BrokerConfig::default()
         },

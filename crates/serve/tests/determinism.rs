@@ -32,6 +32,7 @@ fn fast_retry(max_attempts: u32) -> RetryPolicy {
         max_attempts,
         base_backoff: Duration::ZERO,
         multiplier: 1,
+        ..RetryPolicy::default()
     }
 }
 

@@ -43,6 +43,14 @@ cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
 echo "==> campaign soak (multi-tenant daemon bench)"
 cargo run -p relock-bench --release --bin campaign_soak -- 8 4 256
 
+# Distributed soak: the multi-process attack (4 worker processes over a
+# Unix socket) under process-level chaos — SIGKILL mid-wave, a stalled
+# heartbeat, a truncated frame — must recover a key and query count
+# bit-identical to the in-process reference, without tripping the
+# circuit breaker.
+echo "==> dist soak (multi-process attack bench)"
+cargo run -p relock-bench --release --bin dist_soak -- 4 16 42 43
+
 # Unified bench report + benchdiff: fails on any query-count drift vs
 # the committed baseline (deterministic); local timing only warns, like
 # CI — gate on queries, not on this machine's clock.

@@ -4,9 +4,10 @@
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
-//!                [--threads N] [--trace events.jsonl]
+//!                [--threads N] [--workers N] [--trace events.jsonl]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! relock serve   [--listen tcp:127.0.0.1:7433] [--workers N] [--cache-mb N]
+//!                [--max-campaigns N]
 //! relock submit  victim.rlk [--listen A] [--tenant T] [--seed N] [--weight N]
 //!                [--budget N] [--threads N] [--full] [--monolithic]
 //! relock status  [id] [--listen A]
@@ -20,6 +21,13 @@
 //! the model file, treats the embedded key purely as the *hardware oracle*
 //! (never looking at it except to score fidelity at the end), and runs the
 //! DNN decryption attack or the monolithic baseline.
+//!
+//! `attack --workers N` shards the per-site and per-candidate phases
+//! across N local worker *processes* under the supervised coordinator of
+//! `relock-dist` (DESIGN.md §4b): heartbeat-monitored workers are
+//! respawned with seeded backoff when they die, and the result is
+//! bit-identical to the single-process run. The coordinator respawns the
+//! CLI itself with the hidden `dist-worker <socket>` subcommand.
 //!
 //! `serve` starts the resident campaign daemon; `submit`/`status`/`pause`/
 //! `resume`/`cancel` speak its wire protocol (DESIGN.md §4). The daemon
@@ -39,7 +47,7 @@ const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:7433";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes"
     );
     ExitCode::from(2)
 }
@@ -264,10 +272,17 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
 fn run_attack(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("attack needs a model file")?;
     let seed = args.u64_value("seed", 7)?;
+    let workers = args.u64_value("workers", 1)? as usize;
+    if workers == 0 {
+        return Err("--workers expects a count >= 1".into());
+    }
     let model = load_model(path)?;
     let oracle = CountingOracle::new(&model);
     let mut rng = Prng::seed_from_u64(seed);
     if args.flag("monolithic").is_some() {
+        if workers > 1 {
+            return Err("--workers applies to the decryption attack, not --monolithic".into());
+        }
         let report = MonolithicAttack::new(MonolithicConfig {
             learning: LearningConfig {
                 samples: 300,
@@ -315,26 +330,51 @@ fn run_attack(args: &Args) -> Result<(), String> {
     }
     let every = args.u64_value("checkpoint-every", 0)?;
 
+    // With `--workers N` (N > 1) the sharded phases run across supervised
+    // worker processes: the coordinator re-invokes this binary with the
+    // hidden `dist-worker` subcommand and proxies all oracle traffic, so
+    // the result is bit-identical to the single-process run.
+    let coordinator = if workers > 1 {
+        let program = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+        let absolute = std::fs::canonicalize(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut opts = relock_dist::DistOptions::new(program);
+        opts.workers = workers;
+        opts.worker_args = vec!["dist-worker".to_string()];
+        Some(relock_dist::DistCoordinator::new(absolute, opts).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+
     let start = std::time::Instant::now();
     let decryptor = Decryptor::new(cfg);
+    let broker = Broker::with_config(
+        &oracle,
+        BrokerConfig {
+            max_queries: decryptor.config().query_budget,
+            ..BrokerConfig::default()
+        },
+    );
     let report = match &checkpoint {
-        None => decryptor
-            .run(model.white_box(), &oracle, &mut rng)
-            .map_err(|e| e.to_string())?,
+        None => match &coordinator {
+            None => decryptor
+                .run_brokered(model.white_box(), &broker, &mut rng)
+                .map_err(|e| e.to_string())?,
+            Some(coord) => decryptor
+                .run_brokered_with(model.white_box(), &broker, &mut rng, coord)
+                .map_err(|e| e.to_string())?,
+        },
         Some(path) => {
             let sink = FileCheckpointSink::new(path);
             let policy = CheckpointPolicy::every_queries(every);
-            let broker = Broker::with_config(
-                &oracle,
-                BrokerConfig {
-                    max_queries: decryptor.config().query_budget,
-                    ..BrokerConfig::default()
-                },
-            );
             if args.flag("resume").is_some() {
-                let (report, status) = decryptor
-                    .resume(model.white_box(), &broker, &mut rng, &sink, policy)
-                    .map_err(|e| e.to_string())?;
+                let (report, status) = match &coordinator {
+                    None => decryptor
+                        .resume(model.white_box(), &broker, &mut rng, &sink, policy)
+                        .map_err(|e| e.to_string())?,
+                    Some(coord) => decryptor
+                        .resume_with(model.white_box(), &broker, &mut rng, &sink, policy, coord)
+                        .map_err(|e| e.to_string())?,
+                };
                 match &status {
                     ResumeStatus::Fresh => println!("no checkpoint at {path}; starting fresh"),
                     ResumeStatus::FellBack { reason } => {
@@ -346,12 +386,37 @@ fn run_attack(args: &Args) -> Result<(), String> {
                 }
                 report
             } else {
-                decryptor
-                    .run_with_checkpoints(model.white_box(), &broker, &mut rng, &sink, policy)
-                    .map_err(|e| e.to_string())?
+                match &coordinator {
+                    None => decryptor
+                        .run_with_checkpoints(model.white_box(), &broker, &mut rng, &sink, policy)
+                        .map_err(|e| e.to_string())?,
+                    Some(coord) => decryptor
+                        .run_checkpointed_with(
+                            model.white_box(),
+                            &broker,
+                            &mut rng,
+                            &sink,
+                            policy,
+                            coord,
+                        )
+                        .map_err(|e| e.to_string())?,
+                }
             }
         }
     };
+    if let Some(coord) = &coordinator {
+        let d = coord.report();
+        match &d.fell_back {
+            Some(reason) => println!(
+                "distributed: {} workers, {} respawns, {} lease expiries — FELL BACK in-process ({reason})",
+                d.workers, d.respawns, d.lease_expiries
+            ),
+            None => println!(
+                "distributed: {} workers, {} respawns, {} lease expiries, {} rows proxied",
+                d.workers, d.respawns, d.lease_expiries, d.routed_rows
+            ),
+        }
+    }
     println!("DNN decryption attack:");
     println!("  extracted key: {}", report.key);
     println!(
@@ -384,7 +449,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else {
         Some((cache_mb as usize) << 20)
     };
-    let hub = CampaignHub::new(workers, cap);
+    let max_live = args.u64_value("max-campaigns", 64)? as usize;
+    let hub = CampaignHub::with_admission_cap(workers, cap, Some(max_live));
     let server = ServerHandle::spawn(hub, &listen).map_err(|e| format!("{listen}: {e}"))?;
     match cap {
         Some(bytes) => println!(
@@ -523,6 +589,20 @@ fn main() -> ExitCode {
     let Some(cmd) = raw.first().cloned() else {
         return usage();
     };
+    // Hidden: the coordinator of `attack --workers N` respawns this
+    // binary as `relock dist-worker <socket>` for each worker process.
+    if cmd == "dist-worker" {
+        return match raw.get(1) {
+            Some(socket) => match relock_dist::worker_main(socket) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("dist-worker: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => usage(),
+        };
+    }
     let args = Args::parse(&raw[1..]);
     let result = match cmd.as_str() {
         "lock" => cmd_lock(&args),
