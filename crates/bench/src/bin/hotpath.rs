@@ -120,7 +120,16 @@ fn main() {
         t.elapsed().as_secs_f64() * 1e6 / 20000.0
     );
 
-    // 6. raw gemm kernels at the attack's layer shapes.
+    // 6. raw gemm kernels at the attack's layer shapes — one row per
+    // shape, one column per (backend, precision). The per-backend columns
+    // call the kernels directly (no global override), so the table always
+    // shows every backend the machine can run, whatever RELOCK_BACKEND is.
+    let backends = relock_tensor::backend::available_backends();
+    print!("{:<18}", "gemm_nn (madd/ns)");
+    for be in &backends {
+        print!("{:>16} {:>13}", format!("{} f64", be.name()), "f32");
+    }
+    println!();
     for (m, k, n) in [
         (25usize, 48usize, 32usize),
         (25, 32, 16),
@@ -129,16 +138,38 @@ fn main() {
     ] {
         let a = rng.normal_tensor([m, k]);
         let b = rng.normal_tensor([k, n]);
-        let mut o = relock_tensor::Tensor::zeros([m, n]);
-        let t = Instant::now();
-        for _ in 0..100000 {
-            a.matmul_into(&b, &mut o);
-            std::hint::black_box(&o);
+        let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+        let b32: Vec<f32> = b.as_slice().iter().map(|&v| v as f32).collect();
+        let mut o = vec![0.0f64; m * n];
+        let mut o32 = vec![0.0f32; m * n];
+        let madds = (m * k * n) as f64;
+        print!("{:<18}", format!("{m}x{k}x{n}"));
+        for be in &backends {
+            let t = Instant::now();
+            for _ in 0..100000 {
+                relock_tensor::compute::gemm_nn_into_backend(
+                    *be,
+                    a.as_slice(),
+                    b.as_slice(),
+                    &mut o,
+                    m,
+                    k,
+                    n,
+                    1,
+                );
+                std::hint::black_box(&o);
+            }
+            let us64 = t.elapsed().as_secs_f64() * 1e6 / 100000.0;
+            let t = Instant::now();
+            for _ in 0..100000 {
+                relock_tensor::compute::gemm_nn_f32_into_backend(
+                    *be, &a32, &b32, &mut o32, m, k, n, 1,
+                );
+                std::hint::black_box(&o32);
+            }
+            let us32 = t.elapsed().as_secs_f64() * 1e6 / 100000.0;
+            print!("{:>16.2} {:>13.2}", madds / us64 / 1e3, madds / us32 / 1e3);
         }
-        let us = t.elapsed().as_secs_f64() * 1e6 / 100000.0;
-        println!(
-            "gemm_nn {m}x{k}x{n}   {us:8.3} us  ({:.2} madd/ns)",
-            (m * k * n) as f64 / us / 1e3
-        );
+        println!();
     }
 }

@@ -138,6 +138,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 5e-3,
                     epochs: 14,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -152,6 +153,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 3e-3,
                     epochs: 12,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -176,6 +178,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 5e-3,
                     epochs: 12,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -190,6 +193,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 3e-3,
                     epochs: 10,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -223,6 +227,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 5e-3,
                     epochs: 10,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -237,6 +242,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 3e-3,
                     epochs: 10,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -261,6 +267,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 3e-3,
                     epochs: 16,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -275,6 +282,7 @@ pub fn prepare(arch: Arch, key_bits: usize, scale: Scale, seed: u64) -> Prepared
                     lr: 3e-3,
                     epochs: 12,
                     batch_size: 32,
+                    ..Trainer::default()
                 },
             )
         }
@@ -335,6 +343,7 @@ pub fn attack_config(arch: Arch, scale: Scale) -> AttackConfig {
             lr: 0.08,
             confidence: 0.95,
             patience: 15,
+            ..LearningConfig::default()
         };
         cfg.validation_neurons = 12;
         cfg.max_hamming = 5;
@@ -360,6 +369,7 @@ pub fn monolithic_config(scale: Scale) -> MonolithicConfig {
                 lr: 0.08,
                 confidence: 0.95,
                 patience: 10,
+                ..LearningConfig::default()
             },
             input_scale: 3.0,
         },

@@ -25,6 +25,7 @@ use relock_dist::{DistCoordinator, DistOptions};
 use relock_locking::CountingOracle;
 use relock_serve::{Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle};
 use relock_tensor::rng::Prng;
+use relock_tensor::{backend, BackendKind};
 use relock_trace::json::Value;
 use std::hint::black_box;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -38,7 +39,11 @@ use std::time::{Duration, Instant};
 /// v2: added the optional `evictions` field (campaign-soak LRU counter).
 /// v3: added the optional `workers` field (worker-process count of the
 /// distributed-attack section, e.g. `dist_mlp32_workers4`).
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// v4: added the optional `backend` field (resolved gemm-backend name of
+/// kernel-pinned benchmarks, e.g. `scalar` / `simd-avx`), the
+/// `forward_batch32_simd` comparison point, and the `monolithic_f32`
+/// fast-path measurement.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +68,11 @@ pub struct BenchEntry {
     /// Worker *processes* used by a distributed-attack measurement
     /// (absent for in-process benchmarks).
     pub workers: Option<u64>,
+    /// Resolved gemm-backend name a kernel-pinned benchmark ran on
+    /// (`scalar`, `simd-avx`, `simd-portable`); absent for benchmarks
+    /// that don't pin one. Machine-dependent, so `diff` reports changes
+    /// as notes, never failures.
+    pub backend: Option<String>,
 }
 
 /// The whole report document.
@@ -101,6 +111,9 @@ impl BenchDoc {
                 }
                 if let Some(w) = e.workers {
                     fields.push(("workers".to_string(), Value::num_u64(w)));
+                }
+                if let Some(b) = &e.backend {
+                    fields.push(("backend".to_string(), Value::str(b)));
                 }
                 Value::Obj(fields)
             })
@@ -163,6 +176,10 @@ impl BenchDoc {
                 },
                 workers: match entry.get("workers") {
                     Some(v) => Some(v.as_u64().ok_or("non-integer 'workers'")?),
+                    None => None,
+                },
+                backend: match entry.get("backend") {
+                    Some(v) => Some(v.as_str().ok_or("non-string 'backend'")?.to_string()),
                     None => None,
                 },
             });
@@ -299,6 +316,12 @@ pub fn diff(
                 ));
             }
         }
+        if cur.backend != base.backend {
+            out.notes.push(format!(
+                "{}: gemm backend {:?} vs baseline {:?} (machine-dependent, informational)",
+                base.name, cur.backend, base.backend
+            ));
+        }
     }
     for cur in &current.entries {
         if !baseline.entries.iter().any(|e| e.name == cur.name) {
@@ -355,12 +378,20 @@ fn entry(
         cache_hit_rate,
         evictions: None,
         workers: None,
+        backend: None,
     }
 }
 
 /// Planned-path forward throughput (rows/sec) of the white-box MLP
 /// through one reused workspace — the engine bin's measurement, repeated.
-fn forward_entry(batch: usize, repeats: usize) -> BenchEntry {
+///
+/// The gemm backend is pinned for the duration: the legacy
+/// `forward_batch*_planned` entries run on `scalar` (so their baselines
+/// keep their historical meaning on any machine), and
+/// `forward_batch32_simd` runs the same workload on the auto-detected
+/// SIMD backend — the pair is the report's headline speedup.
+fn forward_entry(name: &str, batch: usize, repeats: usize, kind: BackendKind) -> BenchEntry {
+    backend::set_backend_override(Some(kind));
     let p = prepare(Arch::Mlp, 16, Scale::Fast, 42);
     let g = p.model.white_box();
     let keys = p.model.true_key().to_assignment();
@@ -382,13 +413,41 @@ fn forward_entry(batch: usize, repeats: usize) -> BenchEntry {
         }
         samples.push(iters as f64 * batch as f64 / t.elapsed().as_secs_f64());
     }
-    entry(
-        &format!("forward_batch{batch}_planned"),
-        "rows_per_sec",
-        samples,
-        None,
-        None,
-    )
+    backend::set_backend_override(None);
+    BenchEntry {
+        backend: Some(backend::backend_for(kind).name().to_string()),
+        ..entry(name, "rows_per_sec", samples, None, None)
+    }
+}
+
+/// The §4.3 monolithic learning attack on the MLP-16 victim with its
+/// `Linear` products in single precision, on the SIMD backend — the
+/// end-to-end payoff of the f32 fast path. The query count stays exact
+/// and deterministic (one labelled training set up front), so `diff`
+/// gates on it like any other attack entry.
+fn monolithic_f32_entry(repeats: usize) -> BenchEntry {
+    backend::set_backend_override(Some(BackendKind::Simd));
+    let p = prepare(Arch::Mlp, 16, Scale::Fast, 42);
+    let mut cfg = crate::monolithic_config(Scale::Fast);
+    cfg.learning.precision = relock_graph::Precision::F32;
+    let attack = relock_attack::MonolithicAttack::new(cfg);
+    let oracle = CountingOracle::new(&p.model);
+    let mut samples = Vec::with_capacity(repeats);
+    let mut queries: Option<u64> = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let report = attack.run(p.model.white_box(), &oracle, &mut Prng::seed_from_u64(43));
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        if let Some(q) = queries {
+            assert_eq!(q, report.queries, "repeats must replay identical traffic");
+        }
+        queries = Some(report.queries);
+    }
+    backend::set_backend_override(None);
+    BenchEntry {
+        backend: Some(backend::backend_for(BackendKind::Simd).name().to_string()),
+        ..entry("monolithic_f32", "ms", samples, queries, None)
+    }
 }
 
 /// End-to-end MLP-16 Fast attack (the smoke workload: prep seed 42,
@@ -664,9 +723,11 @@ fn campaign_entry() -> BenchEntry {
 pub fn run_report(repeats: usize) -> BenchDoc {
     let repeats = repeats.max(1);
     let mut entries = vec![
-        forward_entry(1, repeats),
-        forward_entry(32, repeats),
+        forward_entry("forward_batch1_planned", 1, repeats, BackendKind::Scalar),
+        forward_entry("forward_batch32_planned", 32, repeats, BackendKind::Scalar),
+        forward_entry("forward_batch32_simd", 32, repeats, BackendKind::Simd),
         attack_mlp16_entry(repeats),
+        monolithic_f32_entry(repeats),
     ];
     entries.extend(mlp32_entries(repeats.min(2)));
     entries.push(soak_entry());
@@ -701,6 +762,7 @@ mod tests {
                     cache_hit_rate: Some(0.3125),
                     evictions: Some(17),
                     workers: Some(4),
+                    backend: None,
                 },
                 BenchEntry {
                     name: "forward_batch1_planned".to_string(),
@@ -712,6 +774,7 @@ mod tests {
                     cache_hit_rate: None,
                     evictions: None,
                     workers: None,
+                    backend: Some("scalar".to_string()),
                 },
             ],
         }
@@ -754,6 +817,19 @@ mod tests {
     }
 
     #[test]
+    fn backend_drift_is_a_note_not_a_failure() {
+        let base = sample_doc();
+        let mut cur = base.clone();
+        cur.entries[1].backend = Some("simd-avx".to_string());
+        let out = diff(&cur, &base, 0.5, false);
+        assert!(out.is_ok(), "{out:?}");
+        assert!(out
+            .notes
+            .iter()
+            .any(|n| n.contains("gemm backend") && n.contains("simd-avx")));
+    }
+
+    #[test]
     fn eviction_drift_is_a_note_not_a_failure() {
         let base = sample_doc();
         let mut cur = base.clone();
@@ -781,6 +857,7 @@ mod tests {
             cache_hit_rate: None,
             evictions: None,
             workers: None,
+            backend: None,
         });
         let out = diff(&cur, &base, 0.5, true);
         assert!(out.failures.iter().any(|f| f.contains("missing")));

@@ -67,4 +67,5 @@ pub use key::{KeyAssignment, KeySlot, UnitLayout};
 pub use op::{Op, Saved, WeightLock};
 pub use plan::{ExecPlan, Workspace};
 pub use pool::{PooledWorkspace, WorkspacePool};
+pub use relock_tensor::Precision;
 pub use serial::SerialError;

@@ -1,24 +1,30 @@
 //! Shared CPU compute substrate: scoped-thread row sharding and the
-//! blocked gemm kernels behind [`Tensor`](crate::Tensor)'s matmuls.
+//! backend-dispatched gemm engine behind [`Tensor`](crate::Tensor)'s
+//! matmuls.
 //!
-//! Everything here preserves **bit-identical f64 results** at any worker
-//! count: each output element accumulates its `k` contributions in strictly
-//! ascending order into a single accumulator, threads only ever split work
-//! across *disjoint output rows*, and the per-element accumulation order is
-//! the same as the naive reference kernels. That discipline is what lets
-//! the attack's checkpoint/determinism suites hold while the kernels run
-//! tiled and parallel.
+//! Everything here preserves **bit-identical results** (per precision) at
+//! any worker count and on any backend: each output element accumulates
+//! its `k` contributions in strictly ascending order into a single
+//! accumulator, threads only ever split work across *disjoint output
+//! rows*, and every backend replays the same per-element accumulation
+//! order (see the [`crate::backend`] module docs). That discipline is what
+//! lets the attack's checkpoint/determinism suites hold while the kernels
+//! run tiled, parallel, and vectorized.
+//!
+//! Kernel selection and worker counts are **read at dispatch time**:
+//! `RELOCK_BACKEND` / `RELOCK_THREADS` seed the process defaults once, and
+//! [`crate::backend::set_backend_override`] / [`set_thread_override`] can
+//! re-route any later dispatch, so tests and the CLI can vary both
+//! per-case without the stale-env footgun the old `OnceLock`-only cache
+//! had.
 //!
 //! The row-splitting policy (`split_rows`) is shared with the
 //! `relock-serve` oracle worker pool, which historically carried its own
 //! copy.
 
+use crate::backend::{active_backend, GemmBackend};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
-
-/// Column-block width of the blocked kernels. Inner `j` blocks keep the
-/// active `B`/`out` row segments resident in L1 across the `k` loop without
-/// changing any element's accumulation order (only `k` order matters).
-const J_BLOCK: usize = 64;
 
 /// Flop threshold (`m·k·n`) below which a gemm never spawns threads: tiny
 /// products dominate the attack's line searches and a spawn costs more
@@ -29,9 +35,12 @@ const PAR_FLOPS: usize = 200_000;
 /// coordination than it gains.
 const MIN_ROWS_PER_SHARD: usize = 8;
 
-/// Worker threads available to the kernels: `RELOCK_THREADS` if set,
-/// otherwise the machine's available parallelism. Cached after first read.
-pub fn max_threads() -> usize {
+/// 0 = no override; otherwise the pinned worker count.
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-default worker count: `RELOCK_THREADS` if set, otherwise the
+/// machine's available parallelism. Read once.
+fn default_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
         std::env::var("RELOCK_THREADS")
@@ -44,6 +53,23 @@ pub fn max_threads() -> usize {
                     .unwrap_or(1)
             })
     })
+}
+
+/// Worker threads available to the kernels: the runtime override when set
+/// (see [`set_thread_override`]), else the process default. Read at every
+/// dispatch — never cached past a call.
+pub fn max_threads() -> usize {
+    match THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Pins (or with `None` releases) the kernel worker count for subsequent
+/// dispatches in this process, overriding `RELOCK_THREADS`. `Some(0)` is
+/// clamped to one worker.
+pub fn set_thread_override(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
 }
 
 /// Splits `rows` into at most `workers` contiguous, near-equal `(lo, hi)`
@@ -71,10 +97,12 @@ pub fn split_rows(rows: usize, workers: usize, min_rows_per_shard: usize) -> Vec
 /// row_len` buffer), using scoped threads when more than one shard is
 /// warranted. `f` receives the first row index of its block and the
 /// mutable block slice. With one shard this is a plain call — no spawn,
-/// identical code path to the sequential kernel.
-pub fn for_each_row_block<F>(out: &mut [f64], rows: usize, row_len: usize, workers: usize, f: F)
+/// identical code path to the sequential kernel. Generic over the element
+/// type so the f32 path shards exactly like the f64 one.
+pub fn for_each_row_block<T, F>(out: &mut [T], rows: usize, row_len: usize, workers: usize, f: F)
 where
-    F: Fn(usize, &mut [f64]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     debug_assert_eq!(out.len(), rows * row_len);
     let ranges = split_rows(rows, workers, MIN_ROWS_PER_SHARD);
@@ -107,11 +135,15 @@ fn parallel_workers(m: usize, k: usize, n: usize) -> usize {
     }
 }
 
+// ---------------------------------------------------------------------------
+// f64 dispatch.
+// ---------------------------------------------------------------------------
+
 /// `out = A · B` for `A: m×k`, `B: k×n`, `out: m×n`, overwriting `out`.
 ///
-/// Blocked i-k-j kernel: every `out[i][j]` accumulates `k = 0..K` in
-/// ascending order into a single accumulator — bit-identical to the naive
-/// i-k-j loop at any worker count.
+/// Every `out[i][j]` accumulates `k = 0..K` in ascending order into a
+/// single accumulator — bit-identical to the naive i-k-j loop at any
+/// worker count, on any backend.
 pub fn gemm_nn_into(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     gemm_nn_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
 }
@@ -126,47 +158,33 @@ pub fn gemm_nn_into_with(
     n: usize,
     workers: usize,
 ) {
+    gemm_nn_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_nn_into_with`] on an explicit backend — the equivalence suites
+/// and the `hotpath` bench compare backends through this without touching
+/// the process-wide selection.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     relock_trace::counter("gemm.nn", 1);
+    relock_trace::counter(be.counters().nn, 1);
+    if out.is_empty() {
+        return;
+    }
     for_each_row_block(out, m, n, workers, |lo, block| {
-        for (bi, out_row) in block.chunks_mut(n).enumerate() {
-            let i = lo + bi;
-            let a_row = &a[i * k..(i + 1) * k];
-            out_row.fill(0.0);
-            let mut jb = 0;
-            while jb < n {
-                let je = (jb + J_BLOCK).min(n);
-                // Four `k` steps per sweep of the output segment: each
-                // element still accumulates its contributions in ascending
-                // `k` order (the four adds chain in-register), so results
-                // are bit-identical to the one-step loop — but the segment
-                // is loaded and stored once per four steps instead of once
-                // per step.
-                let mut kk = 0usize;
-                while kk + 4 <= k {
-                    let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
-                    let b0 = &b[kk * n + jb..kk * n + je];
-                    let b1 = &b[(kk + 1) * n + jb..(kk + 1) * n + je];
-                    let b2 = &b[(kk + 2) * n + jb..(kk + 2) * n + je];
-                    let b3 = &b[(kk + 3) * n + jb..(kk + 3) * n + je];
-                    for ((((o, &v0), &v1), &v2), &v3) in
-                        out_row[jb..je].iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                    {
-                        *o = (((*o + a0 * v0) + a1 * v1) + a2 * v2) + a3 * v3;
-                    }
-                    kk += 4;
-                }
-                for (kk, &av) in a_row.iter().enumerate().skip(kk) {
-                    let b_seg = &b[kk * n + jb..kk * n + je];
-                    for (o, &bv) in out_row[jb..je].iter_mut().zip(b_seg) {
-                        *o += av * bv;
-                    }
-                }
-                jb = je;
-            }
-        }
+        be.nn_block(a, b, block, lo, k, n);
     });
 }
 
@@ -188,66 +206,33 @@ pub fn gemm_nt_into_with(
     n: usize,
     workers: usize,
 ) {
+    gemm_nt_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_nt_into_with`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
     relock_trace::counter("gemm.nt", 1);
+    relock_trace::counter(be.counters().nt, 1);
+    if out.is_empty() {
+        return;
+    }
     for_each_row_block(out, m, n, workers, |lo, block| {
         for (bi, out_row) in block.chunks_mut(n).enumerate() {
             let i = lo + bi;
-            let a_row = &a[i * k..(i + 1) * k];
-            // Four output columns at a time: each column keeps its own
-            // accumulator walking `k` in ascending order (bit-identical to
-            // the one-column loop), but the four independent chains hide
-            // the f64 add latency the strict summation order would
-            // otherwise serialize on.
-            let mut j = 0usize;
-            while j + 8 <= n {
-                let b0 = &b[j * k..(j + 1) * k];
-                let b1 = &b[(j + 1) * k..(j + 2) * k];
-                let b2 = &b[(j + 2) * k..(j + 3) * k];
-                let b3 = &b[(j + 3) * k..(j + 4) * k];
-                let b4 = &b[(j + 4) * k..(j + 5) * k];
-                let b5 = &b[(j + 5) * k..(j + 6) * k];
-                let b6 = &b[(j + 6) * k..(j + 7) * k];
-                let b7 = &b[(j + 7) * k..(j + 8) * k];
-                let mut s = [0.0f64; 8];
-                for (kk, &av) in a_row.iter().enumerate() {
-                    s[0] += av * b0[kk];
-                    s[1] += av * b1[kk];
-                    s[2] += av * b2[kk];
-                    s[3] += av * b3[kk];
-                    s[4] += av * b4[kk];
-                    s[5] += av * b5[kk];
-                    s[6] += av * b6[kk];
-                    s[7] += av * b7[kk];
-                }
-                out_row[j..j + 8].copy_from_slice(&s);
-                j += 8;
-            }
-            while j + 4 <= n {
-                let b0 = &b[j * k..(j + 1) * k];
-                let b1 = &b[(j + 1) * k..(j + 2) * k];
-                let b2 = &b[(j + 2) * k..(j + 3) * k];
-                let b3 = &b[(j + 3) * k..(j + 4) * k];
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-                for (&av, ((&v0, &v1), (&v2, &v3))) in
-                    a_row.iter().zip(b0.iter().zip(b1).zip(b2.iter().zip(b3)))
-                {
-                    s0 += av * v0;
-                    s1 += av * v1;
-                    s2 += av * v2;
-                    s3 += av * v3;
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
-            }
-            for (o, b_row) in out_row[j..].iter_mut().zip(b[j * k..].chunks_exact(k)) {
-                *o = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
-            }
+            be.nt_row(&a[i * k..(i + 1) * k], b, out_row, k, n);
         }
     });
 }
@@ -271,29 +256,177 @@ pub fn gemm_tn_into_with(
     n: usize,
     workers: usize,
 ) {
+    gemm_tn_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_tn_into_with`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     relock_trace::counter("gemm.tn", 1);
+    relock_trace::counter(be.counters().tn, 1);
+    if out.is_empty() {
+        return;
+    }
     for_each_row_block(out, m, n, workers, |lo, block| {
         let rows = block.len() / n.max(1);
-        block.fill(0.0);
-        for kk in 0..k {
-            let a_seg = &a[kk * m + lo..kk * m + lo + rows];
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (bi, &av) in a_seg.iter().enumerate() {
-                let out_row = &mut block[bi * n..(bi + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
+        be.tn_block(a, b, block, lo, rows, m, k, n);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// f32 dispatch — same sharding policy and determinism contract, single
+// precision. The graph's opt-in f32 execution mode feeds through these.
+// ---------------------------------------------------------------------------
+
+/// f32 twin of [`gemm_nn_into`].
+pub fn gemm_nn_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nn_f32_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_nn_f32_into`] with an explicit worker count.
+pub fn gemm_nn_f32_into_with(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    gemm_nn_f32_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_nn_f32_into_with`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn_f32_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm32.nn", 1);
+    relock_trace::counter(be.counters().nn32, 1);
+    if out.is_empty() {
+        return;
+    }
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        be.nn_block_f32(a, b, block, lo, k, n);
+    });
+}
+
+/// f32 twin of [`gemm_nt_into`].
+pub fn gemm_nt_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nt_f32_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_nt_f32_into`] with an explicit worker count.
+pub fn gemm_nt_f32_into_with(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    gemm_nt_f32_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_nt_f32_into_with`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_f32_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm32.nt", 1);
+    relock_trace::counter(be.counters().nt32, 1);
+    if out.is_empty() {
+        return;
+    }
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        for (bi, out_row) in block.chunks_mut(n).enumerate() {
+            let i = lo + bi;
+            be.nt_row_f32(&a[i * k..(i + 1) * k], b, out_row, k, n);
         }
+    });
+}
+
+/// f32 twin of [`gemm_tn_into`].
+pub fn gemm_tn_f32_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_tn_f32_into_with(a, b, out, m, k, n, parallel_workers(m, k, n));
+}
+
+/// [`gemm_tn_f32_into`] with an explicit worker count.
+pub fn gemm_tn_f32_into_with(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    gemm_tn_f32_into_backend(active_backend(), a, b, out, m, k, n, workers);
+}
+
+/// [`gemm_tn_f32_into_with`] on an explicit backend.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn_f32_into_backend(
+    be: &dyn GemmBackend,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    workers: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    relock_trace::counter("gemm32.tn", 1);
+    relock_trace::counter(be.counters().tn32, 1);
+    if out.is_empty() {
+        return;
+    }
+    for_each_row_block(out, m, n, workers, |lo, block| {
+        let rows = block.len() / n.max(1);
+        be.tn_block_f32(a, b, block, lo, rows, m, k, n);
     });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{backend_for, BackendKind};
     use crate::rng::Prng;
 
     /// Naive reference kernels — the accumulation-order ground truth.
@@ -333,6 +466,17 @@ mod tests {
 
     fn bits(v: &[f64]) -> Vec<u64> {
         v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn bits32(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Every backend present on this machine, the scalar reference first —
+    /// including the narrower SIMD backends `simd` does not resolve to here
+    /// (e.g. plain AVX on an AVX-512 machine).
+    fn all_backends() -> Vec<&'static dyn crate::backend::GemmBackend> {
+        crate::backend::available_backends()
     }
 
     #[test]
@@ -393,16 +537,104 @@ mod tests {
             let want_nn = naive_nn(&a_nn, &b_nn, m, k, n);
             let want_nt = naive_nt(&a_nn, &b_t, m, k, n);
             let want_tn = naive_tn(&a_t, &b_nn, m, k, n);
-            for workers in [1usize, 2, 3, 5, 16] {
-                let mut out = vec![f64::NAN; m * n];
-                gemm_nn_into_with(&a_nn, &b_nn, &mut out, m, k, n, workers);
-                assert_eq!(bits(&out), bits(&want_nn), "nn {m}x{k}x{n} w={workers}");
-                let mut out = vec![f64::NAN; m * n];
-                gemm_nt_into_with(&a_nn, &b_t, &mut out, m, k, n, workers);
-                assert_eq!(bits(&out), bits(&want_nt), "nt {m}x{k}x{n} w={workers}");
-                let mut out = vec![f64::NAN; m * n];
-                gemm_tn_into_with(&a_t, &b_nn, &mut out, m, k, n, workers);
-                assert_eq!(bits(&out), bits(&want_tn), "tn {m}x{k}x{n} w={workers}");
+            for be in all_backends() {
+                for workers in [1usize, 2, 3, 5, 16] {
+                    let tag = be.name();
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_nn_into_backend(be, &a_nn, &b_nn, &mut out, m, k, n, workers);
+                    assert_eq!(
+                        bits(&out),
+                        bits(&want_nn),
+                        "nn {m}x{k}x{n} w={workers} {tag}"
+                    );
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_nt_into_backend(be, &a_nn, &b_t, &mut out, m, k, n, workers);
+                    assert_eq!(
+                        bits(&out),
+                        bits(&want_nt),
+                        "nt {m}x{k}x{n} w={workers} {tag}"
+                    );
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_tn_into_backend(be, &a_t, &b_nn, &mut out, m, k, n, workers);
+                    assert_eq!(
+                        bits(&out),
+                        bits(&want_tn),
+                        "tn {m}x{k}x{n} w={workers} {tag}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_sweep_simd_bit_identical_to_scalar_on_random_shapes() {
+        // Property sweep: random shapes (including degenerate m=0 / k=0 /
+        // n=1 and non-multiple-of-4/8 tails) must produce bit-identical
+        // results on every backend, f64 and f32 alike. Shapes come from
+        // the in-tree Prng so the sweep is reproducible.
+        let mut rng = Prng::seed_from_u64(0xBACC);
+        let scalar = backend_for(BackendKind::Scalar);
+        let mut shapes: Vec<(usize, usize, usize)> = vec![
+            (0, 3, 4),
+            (3, 0, 4),
+            (3, 4, 0),
+            (1, 1, 1),
+            (2, 3, 1),
+            (1, 4, 1),
+            (5, 6, 7),
+            (9, 130, 3),
+        ];
+        for _ in 0..24 {
+            let m = (rng.next_u64() % 24) as usize;
+            let k = (rng.next_u64() % 48) as usize;
+            let n = (rng.next_u64() % 96) as usize;
+            shapes.push((m, k, n));
+        }
+        for &(m, k, n) in &shapes {
+            let a_nn: Vec<f64> = (0..m * k).map(|_| rng.normal()).collect();
+            let b_nn: Vec<f64> = (0..k * n).map(|_| rng.normal()).collect();
+            let a_t: Vec<f64> = (0..k * m).map(|_| rng.normal()).collect();
+            let b_t: Vec<f64> = (0..n * k).map(|_| rng.normal()).collect();
+            let a32: Vec<f32> = a_nn.iter().map(|&x| x as f32).collect();
+            let b32: Vec<f32> = b_nn.iter().map(|&x| x as f32).collect();
+            let at32: Vec<f32> = a_t.iter().map(|&x| x as f32).collect();
+            let bt32: Vec<f32> = b_t.iter().map(|&x| x as f32).collect();
+
+            let mut want_nn = vec![f64::NAN; m * n];
+            let mut want_nt = vec![f64::NAN; m * n];
+            let mut want_tn = vec![f64::NAN; m * n];
+            gemm_nn_into_backend(scalar, &a_nn, &b_nn, &mut want_nn, m, k, n, 1);
+            gemm_nt_into_backend(scalar, &a_nn, &b_t, &mut want_nt, m, k, n, 1);
+            gemm_tn_into_backend(scalar, &a_t, &b_nn, &mut want_tn, m, k, n, 1);
+            let mut want_nn32 = vec![f32::NAN; m * n];
+            let mut want_nt32 = vec![f32::NAN; m * n];
+            let mut want_tn32 = vec![f32::NAN; m * n];
+            gemm_nn_f32_into_backend(scalar, &a32, &b32, &mut want_nn32, m, k, n, 1);
+            gemm_nt_f32_into_backend(scalar, &a32, &bt32, &mut want_nt32, m, k, n, 1);
+            gemm_tn_f32_into_backend(scalar, &at32, &b32, &mut want_tn32, m, k, n, 1);
+
+            for be in all_backends() {
+                for workers in [1usize, 3] {
+                    let tag = be.name();
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_nn_into_backend(be, &a_nn, &b_nn, &mut out, m, k, n, workers);
+                    assert_eq!(bits(&out), bits(&want_nn), "nn {m}x{k}x{n} {tag}");
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_nt_into_backend(be, &a_nn, &b_t, &mut out, m, k, n, workers);
+                    assert_eq!(bits(&out), bits(&want_nt), "nt {m}x{k}x{n} {tag}");
+                    let mut out = vec![f64::NAN; m * n];
+                    gemm_tn_into_backend(be, &a_t, &b_nn, &mut out, m, k, n, workers);
+                    assert_eq!(bits(&out), bits(&want_tn), "tn {m}x{k}x{n} {tag}");
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_nn_f32_into_backend(be, &a32, &b32, &mut out, m, k, n, workers);
+                    assert_eq!(bits32(&out), bits32(&want_nn32), "nn32 {m}x{k}x{n} {tag}");
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_nt_f32_into_backend(be, &a32, &bt32, &mut out, m, k, n, workers);
+                    assert_eq!(bits32(&out), bits32(&want_nt32), "nt32 {m}x{k}x{n} {tag}");
+                    let mut out = vec![f32::NAN; m * n];
+                    gemm_tn_f32_into_backend(be, &at32, &b32, &mut out, m, k, n, workers);
+                    assert_eq!(bits32(&out), bits32(&want_tn32), "tn32 {m}x{k}x{n} {tag}");
+                }
             }
         }
     }
@@ -411,14 +643,16 @@ mod tests {
     fn gemm_overwrites_stale_output_contents() {
         // The planner reuses buffers: kernels must fully overwrite, never
         // blend with what a previous pass left behind.
-        let a = [1.0, 2.0, 3.0, 4.0];
-        let b = [5.0, 6.0, 7.0, 8.0];
-        let mut out = [999.0f64; 4];
-        gemm_nn_into_with(&a, &b, &mut out, 2, 2, 2, 1);
-        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
-        let mut out = [999.0f64; 4];
-        gemm_tn_into_with(&a, &b, &mut out, 2, 2, 2, 1);
-        assert_eq!(out, [26.0, 30.0, 38.0, 44.0]);
+        for be in all_backends() {
+            let a = [1.0, 2.0, 3.0, 4.0];
+            let b = [5.0, 6.0, 7.0, 8.0];
+            let mut out = [999.0f64; 4];
+            gemm_nn_into_backend(be, &a, &b, &mut out, 2, 2, 2, 1);
+            assert_eq!(out, [19.0, 22.0, 43.0, 50.0], "{}", be.name());
+            let mut out = [999.0f64; 4];
+            gemm_tn_into_backend(be, &a, &b, &mut out, 2, 2, 2, 1);
+            assert_eq!(out, [26.0, 30.0, 38.0, 44.0], "{}", be.name());
+        }
     }
 
     #[test]
@@ -426,5 +660,20 @@ mod tests {
         let mut out: Vec<f64> = Vec::new();
         gemm_nn_into_with(&[], &[1.0, 2.0], &mut out, 0, 1, 2, 4);
         assert!(out.is_empty());
+        let mut out32: Vec<f32> = Vec::new();
+        gemm_nn_f32_into_with(&[], &[1.0, 2.0], &mut out32, 0, 1, 2, 4);
+        assert!(out32.is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_read_at_dispatch_time() {
+        set_thread_override(Some(2));
+        assert_eq!(max_threads(), 2);
+        set_thread_override(Some(5));
+        assert_eq!(max_threads(), 5);
+        set_thread_override(Some(0));
+        assert_eq!(max_threads(), 1, "Some(0) clamps to one worker");
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
     }
 }

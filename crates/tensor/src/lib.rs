@@ -11,7 +11,10 @@
 //!   (paper §3.3, Algorithm 1 line 7);
 //! - [`rng`]: a small, fully deterministic xoshiro256++ PRNG so that every
 //!   experiment in the workspace is reproducible bit-for-bit;
-//! - [`im2col`]: the image-to-column lowering used by the convolution ops.
+//! - [`im2col`]: the image-to-column lowering used by the convolution ops;
+//! - [`backend`]: the dispatched gemm engine — scalar reference, SIMD, and
+//!   f32 kernels, all bit-identical per precision (see [`BackendKind`] and
+//!   [`Precision`]).
 //!
 //! # Example
 //!
@@ -24,6 +27,7 @@
 //! assert_eq!(y.as_slice(), &[3.0, 7.0]);
 //! ```
 
+pub mod backend;
 pub mod compute;
 pub mod im2col;
 pub mod linalg;
@@ -31,6 +35,7 @@ pub mod rng;
 mod shape;
 mod tensor;
 
+pub use backend::{BackendKind, GemmBackend, Precision};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
+//!                [--precision f64|f32]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
 //!                [--threads N] [--workers N] [--trace events.jsonl]
+//!                [--precision f64|f32] [--backend scalar|simd|simd-portable]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! relock serve   [--listen tcp:127.0.0.1:7433] [--workers N] [--cache-mb N]
 //!                [--max-campaigns N]
@@ -33,6 +35,12 @@
 //! `resume`/`cancel` speak its wire protocol (DESIGN.md §4). The daemon
 //! hosts many concurrent campaigns over one shared query cache with
 //! fair-share scheduling across tenants.
+//!
+//! `--backend` pins the gemm kernel backend for the whole process (same
+//! values as the `RELOCK_BACKEND` env var; the flag wins). `--precision
+//! f32` opts the *training* matrix products into single precision — the
+//! monolithic attack's learning loop and `lock`'s trainer; the decryption
+//! attack's algebraic core always runs f64.
 
 use relock::prelude::*;
 use relock_attack::LearningConfig;
@@ -47,7 +55,7 @@ const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:7433";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n                 [--precision <f64|f32>]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--precision <f64|f32>] [--backend <scalar|simd|simd-portable>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes"
     );
     ExitCode::from(2)
 }
@@ -90,6 +98,34 @@ impl Args {
             Some(s) => s.parse().map_err(|_| format!("--{name} expects a number")),
         }
     }
+}
+
+/// Parses `--precision <f64|f32>` (default f64).
+fn precision_flag(args: &Args) -> Result<relock_tensor::Precision, String> {
+    match args.flag("precision") {
+        None => Ok(relock_tensor::Precision::F64),
+        Some(v) => {
+            let name = v.as_deref().ok_or("--precision expects f64 or f32")?;
+            relock_tensor::Precision::parse(name)
+                .ok_or_else(|| format!("--precision: unknown precision '{name}' (f64|f32)"))
+        }
+    }
+}
+
+/// Applies `--backend <scalar|simd|simd-portable>` as a process-wide gemm
+/// backend override (the CLI flag wins over the `RELOCK_BACKEND` env var).
+fn apply_backend_flag(args: &Args) -> Result<(), String> {
+    let Some(v) = args.flag("backend") else {
+        return Ok(());
+    };
+    let name = v
+        .as_deref()
+        .ok_or("--backend expects scalar, simd or simd-portable")?;
+    let kind = relock_tensor::BackendKind::parse(name).ok_or_else(|| {
+        format!("--backend: unknown backend '{name}' (scalar|simd|simd-portable)")
+    })?;
+    relock_tensor::backend::set_backend_override(Some(kind));
+    Ok(())
 }
 
 fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel, Dataset), String> {
@@ -188,7 +224,11 @@ fn cmd_lock(args: &Args) -> Result<(), String> {
     let mut rng = Prng::seed_from_u64(seed);
     let (mut model, data) = build_victim(&arch, bits, &mut rng)?;
     if args.flag("no-train").is_none() {
-        let summary = Trainer::default().fit(&mut model, &data, &mut rng);
+        let trainer = Trainer {
+            precision: precision_flag(args)?,
+            ..Trainer::default()
+        };
+        let summary = trainer.fit(&mut model, &data, &mut rng);
         println!(
             "trained {arch} ({bits}-bit key): test accuracy {:.1}%",
             100.0 * summary.final_test_accuracy
@@ -279,6 +319,7 @@ fn run_attack(args: &Args) -> Result<(), String> {
     let model = load_model(path)?;
     let oracle = CountingOracle::new(&model);
     let mut rng = Prng::seed_from_u64(seed);
+    let precision = precision_flag(args)?;
     if args.flag("monolithic").is_some() {
         if workers > 1 {
             return Err("--workers applies to the decryption attack, not --monolithic".into());
@@ -286,6 +327,7 @@ fn run_attack(args: &Args) -> Result<(), String> {
         let report = MonolithicAttack::new(MonolithicConfig {
             learning: LearningConfig {
                 samples: 300,
+                precision,
                 ..LearningConfig::default()
             },
             input_scale: 3.0,
@@ -307,6 +349,9 @@ fn run_attack(args: &Args) -> Result<(), String> {
         AttackConfig::default()
     };
     cfg.continue_on_failure = true;
+    // Only the learning sub-procedure honours the precision; the algebraic
+    // core of the decryption attack always runs f64.
+    cfg.learning.precision = precision;
     let threads = args.u64_value("threads", cfg.threads as u64)? as usize;
     if threads == 0 {
         return Err("--threads expects a count >= 1".into());
@@ -604,6 +649,10 @@ fn main() -> ExitCode {
         };
     }
     let args = Args::parse(&raw[1..]);
+    if let Err(msg) = apply_backend_flag(&args) {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "lock" => cmd_lock(&args),
         "inspect" => cmd_inspect(&args),
