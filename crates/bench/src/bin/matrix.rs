@@ -1,0 +1,9 @@
+//! Prints the lock-variant × attack evaluation matrix: key-recovery
+//! accuracy of the oracle-guided attack and the two oracle-less
+//! baselines across the four locking schemes (see `relock_bench::matrix`
+//! for the construction and the expected shape of the table).
+
+fn main() {
+    let cells = relock_bench::matrix::run_matrix();
+    relock_bench::matrix::print_matrix(&cells);
+}

@@ -34,6 +34,7 @@ use relock_tensor::rng::Prng;
 use std::time::Instant;
 
 pub mod campaign;
+pub mod matrix;
 pub mod report;
 
 /// The four victim architectures of §4.2.

@@ -43,7 +43,12 @@ use std::time::{Duration, Instant};
 /// kernel-pinned benchmarks, e.g. `scalar` / `simd-avx`), the
 /// `forward_batch32_simd` comparison point, and the `monolithic_f32`
 /// fast-path measurement.
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// v5: added the optional `lock_variant` field and the
+/// `matrix_<variant>_<attack>` entries of the lock-variant × attack
+/// matrix (unit `key_acc`, higher is better). `key_acc` medians are
+/// deterministic fidelities, so `diff` compares them exactly like query
+/// counts.
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +78,10 @@ pub struct BenchEntry {
     /// that don't pin one. Machine-dependent, so `diff` reports changes
     /// as notes, never failures.
     pub backend: Option<String>,
+    /// Full lock-variant spelling of a matrix entry (`sign`,
+    /// `scale:0.25`, `sar`, `antisat`); absent for non-matrix
+    /// benchmarks.
+    pub lock_variant: Option<String>,
 }
 
 /// The whole report document.
@@ -114,6 +123,9 @@ impl BenchDoc {
                 }
                 if let Some(b) = &e.backend {
                     fields.push(("backend".to_string(), Value::str(b)));
+                }
+                if let Some(v) = &e.lock_variant {
+                    fields.push(("lock_variant".to_string(), Value::str(v)));
                 }
                 Value::Obj(fields)
             })
@@ -180,6 +192,10 @@ impl BenchDoc {
                 },
                 backend: match entry.get("backend") {
                     Some(v) => Some(v.as_str().ok_or("non-string 'backend'")?.to_string()),
+                    None => None,
+                },
+                lock_variant: match entry.get("lock_variant") {
+                    Some(v) => Some(v.as_str().ok_or("non-string 'lock_variant'")?.to_string()),
                     None => None,
                 },
             });
@@ -260,6 +276,18 @@ pub fn diff(
                 base.name
             )),
             _ => {}
+        }
+        // `key_acc` medians are deterministic bit fidelities, not noisy
+        // wall-clock: any drift means an attack's behaviour changed, so
+        // compare exactly (like query counts), skipping the tolerance path.
+        if cur.unit == "key_acc" {
+            if (cur.median - base.median).abs() > 1e-9 {
+                out.failures.push(format!(
+                    "{}: key-recovery accuracy changed {:.4} -> {:.4} (deterministic — any drift is a regression or an intentional change that must update the baseline)",
+                    base.name, base.median, cur.median
+                ));
+            }
+            continue;
         }
         if base.median > 0.0 {
             let lower_is_better = base.unit == "ms";
@@ -379,6 +407,7 @@ fn entry(
         evictions: None,
         workers: None,
         backend: None,
+        lock_variant: None,
     }
 }
 
@@ -732,6 +761,7 @@ pub fn run_report(repeats: usize) -> BenchDoc {
     entries.extend(mlp32_entries(repeats.min(2)));
     entries.push(soak_entry());
     entries.push(campaign_entry());
+    entries.extend(crate::matrix::matrix_entries());
     BenchDoc {
         schema_version: BENCH_SCHEMA_VERSION,
         git_rev: git_rev(),
@@ -763,6 +793,7 @@ mod tests {
                     evictions: Some(17),
                     workers: Some(4),
                     backend: None,
+                    lock_variant: None,
                 },
                 BenchEntry {
                     name: "forward_batch1_planned".to_string(),
@@ -775,6 +806,7 @@ mod tests {
                     evictions: None,
                     workers: None,
                     backend: Some("scalar".to_string()),
+                    lock_variant: None,
                 },
             ],
         }
@@ -858,6 +890,7 @@ mod tests {
             evictions: None,
             workers: None,
             backend: None,
+            lock_variant: None,
         });
         let out = diff(&cur, &base, 0.5, true);
         assert!(out.failures.iter().any(|f| f.contains("missing")));
@@ -887,6 +920,33 @@ mod tests {
         let out = diff(&faster, &base, 0.5, false);
         assert!(out.is_ok());
         assert!(out.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn key_acc_drift_fails_exactly() {
+        let mut base = sample_doc();
+        base.entries.push(BenchEntry {
+            name: "matrix_sar_decrypt".to_string(),
+            unit: "key_acc".to_string(),
+            median: 0.5,
+            spread: 0.0,
+            repeats: 1,
+            queries: Some(64),
+            cache_hit_rate: None,
+            evictions: None,
+            workers: None,
+            backend: None,
+            lock_variant: Some("sar".to_string()),
+        });
+        // Identical → clean.
+        assert!(diff(&base, &base, 0.5, true).is_ok());
+        // A fidelity change fails even inside the time tolerance, and
+        // even in warn-only mode — key_acc is deterministic.
+        let mut cur = base.clone();
+        cur.entries.last_mut().unwrap().median = 0.625;
+        let out = diff(&cur, &base, 0.5, true);
+        assert_eq!(out.failures.len(), 1, "{out:?}");
+        assert!(out.failures[0].contains("key-recovery accuracy changed"));
     }
 
     #[test]

@@ -26,10 +26,11 @@
 
 use crate::sched::FairScheduler;
 use relock_attack::{
-    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, Decryptor, FileCheckpointSink,
-    MemoryCheckpointSink, MonolithicAttack, MonolithicConfig, SessionOutcome,
+    sampling_key_search, AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, Decryptor,
+    FileCheckpointSink, MemoryCheckpointSink, MonolithicAttack, MonolithicConfig, SamplingConfig,
+    SessionOutcome,
 };
-use relock_locking::{CountingOracle, Key, LockedModel, Oracle, OracleError};
+use relock_locking::{CountingOracle, Key, LockVariant, LockedModel, Oracle, OracleError};
 use relock_serve::{
     Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, QueryStatsSnapshot, RetryPolicy,
 };
@@ -183,6 +184,11 @@ pub struct CampaignConfig {
     /// Run the §4.3 monolithic learning baseline instead of Algorithm 2.
     /// Monolithic campaigns have no checkpoint cuts, so they cannot pause.
     pub monolithic: bool,
+    /// Lock variant of the victim. Unit-lock variants run the algebraic
+    /// Algorithm 2; trigger variants have no per-unit lock sites, so the
+    /// hub dispatches them to the sampling key search, which runs as a
+    /// single uninterruptible segment (like the monolithic baseline).
+    pub variant: LockVariant,
     /// Deterministic fault schedule wrapped around the oracle.
     pub chaos: Option<ChaosConfig>,
     /// Persist RLCP frames to this path instead of daemon memory.
@@ -202,6 +208,7 @@ impl Default for CampaignConfig {
             threads: 1,
             fast: true,
             monolithic: false,
+            variant: LockVariant::Sign,
             chaos: None,
             checkpoint_path: None,
             retry: RetryPolicy::default(),
@@ -328,6 +335,9 @@ struct CampaignHandle {
     id: u64,
     tenant: String,
     monolithic: bool,
+    /// Trigger-variant campaigns run the sampling search as one
+    /// uninterruptible segment — no cuts, so no pause, like monolithic.
+    trigger: bool,
     /// The pause flag handed to `resume_session`: raised to stop the
     /// in-flight segment at its next checkpoint cut.
     halt: AtomicBool,
@@ -498,6 +508,7 @@ impl CampaignHub {
             id,
             tenant: cfg.tenant.clone(),
             monolithic: cfg.monolithic,
+            trigger: cfg.variant.is_trigger(),
             halt: AtomicBool::new(false),
             cancel: AtomicBool::new(false),
             gate: Mutex::new(Desired::Run),
@@ -575,6 +586,11 @@ impl CampaignHub {
         if h.monolithic {
             return Err(HubError::InvalidState(
                 "monolithic campaigns have no checkpoint cuts to pause at",
+            ));
+        }
+        if h.trigger {
+            return Err(HubError::InvalidState(
+                "trigger-variant campaigns run a single sampling segment and cannot pause",
             ));
         }
         if self.status(id)?.state.is_terminal() {
@@ -735,6 +751,7 @@ fn run_campaign(
         AttackConfig::default()
     };
     attack_cfg.threads = cfg.threads.max(1);
+    attack_cfg.variant = cfg.variant;
     let decryptor = Decryptor::new(attack_cfg);
     let mut mono_cfg = MonolithicConfig::default();
     if cfg.fast {
@@ -793,6 +810,24 @@ fn run_campaign(
                     validated: true,
                     queries: report.queries,
                     stats: report.stats,
+                }
+            } else if cfg.variant.is_trigger() {
+                // Trigger locks expose no per-unit sites for Algorithm 2;
+                // the sampling search is the oracle-guided attack of
+                // record for them (DESIGN.md §3h). Single segment, not
+                // validated: agreement on random probes is not evidence
+                // of key correctness on a trigger lock.
+                let report = sampling_key_search(
+                    model.white_box(),
+                    &broker,
+                    &SamplingConfig::from_attack(&attack_cfg),
+                    &mut rng,
+                );
+                Segment::Done {
+                    key: report.key,
+                    validated: false,
+                    queries: report.queries,
+                    stats: broker.stats().snapshot(),
                 }
             } else {
                 match decryptor.resume_session(
@@ -969,6 +1004,51 @@ mod tests {
         );
         assert!(total_underlying < 2 * va.queries.max(vb.queries) + 1);
         assert!(hub.cache_stats().rows > 0);
+    }
+
+    #[test]
+    fn trigger_campaigns_run_one_sampling_segment_and_cannot_pause() {
+        let model = {
+            let mut rng = Prng::seed_from_u64(905);
+            build_mlp(
+                &MlpSpec {
+                    input: 6,
+                    hidden: vec![8],
+                    classes: 3,
+                },
+                LockSpec::sar(4),
+                &mut rng,
+            )
+            .expect("trigger model builds")
+        };
+        let hub = CampaignHub::new(1, None);
+        let id = hub
+            .submit(
+                model,
+                CampaignConfig {
+                    seed: 41,
+                    variant: LockVariant::SarTrigger,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap();
+        // The sampling segment is uninterruptible, so pause is rejected
+        // in *every* phase — before, during, and after the run.
+        match hub.pause(id) {
+            Err(HubError::InvalidState(_)) => {}
+            other => panic!("trigger pause must be InvalidState, got {other:?}"),
+        }
+        let view = hub
+            .wait_terminal(id, Duration::from_secs(60))
+            .expect("campaign finishes");
+        assert_eq!(view.state, CampaignState::Completed);
+        assert!(!view.validated, "sampling segments are never validated");
+        assert!(view.queries > 0);
+        assert!(view.key.is_some());
+        match hub.pause(id) {
+            Err(HubError::InvalidState(_)) => {}
+            other => panic!("post-completion trigger pause, got {other:?}"),
+        }
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub enum Request {
         fast: bool,
         /// Monolithic baseline instead of Algorithm 2.
         monolithic: bool,
+        /// Lock variant of the victim (`sign`, `scale:<factor>`, `sar`,
+        /// `antisat`). Kept as the wire spelling here; the server parses
+        /// it and answers `bad_request` for an unknown name.
+        variant: String,
         /// RLCP frame (hex) to resume from — the migration path.
         checkpoint: Option<Vec<u8>>,
     },
@@ -209,6 +213,7 @@ impl Request {
                 threads,
                 fast,
                 monolithic,
+                variant,
                 checkpoint,
             } => {
                 fields.push(("model_path".into(), Value::str(model_path.clone())));
@@ -221,6 +226,7 @@ impl Request {
                 fields.push(("threads".into(), Value::num_u64(*threads)));
                 fields.push(("fast".into(), Value::Bool(*fast)));
                 fields.push(("monolithic".into(), Value::Bool(*monolithic)));
+                fields.push(("variant".into(), Value::str(variant.clone())));
                 if let Some(bytes) = checkpoint {
                     fields.push(("checkpoint".into(), Value::str(hex_encode(bytes))));
                 }
@@ -275,6 +281,11 @@ impl Request {
                     .get("monolithic")
                     .and_then(Value::as_bool)
                     .unwrap_or(false),
+                variant: doc
+                    .get("variant")
+                    .and_then(Value::as_str)
+                    .unwrap_or("sign")
+                    .to_string(),
                 checkpoint: doc
                     .get("checkpoint")
                     .and_then(Value::as_str)
@@ -344,6 +355,7 @@ mod tests {
                 threads: 2,
                 fast: true,
                 monolithic: false,
+                variant: "sar".into(),
                 checkpoint: Some(vec![0xde, 0xad, 0x00, 0xbe]),
             }
             .to_value(),
@@ -374,6 +386,7 @@ mod tests {
                 threads: 1,
                 fast: false,
                 monolithic: true,
+                variant: "sign".into(),
                 checkpoint: None,
             },
             Request::Status { id: 3 },

@@ -15,7 +15,7 @@ use crate::hub::{CampaignConfig, CampaignHub, CampaignView, HubError};
 use crate::proto::{
     err_response, hex_encode, ok_response, read_frame, write_frame, ProtoError, Request,
 };
-use relock_locking::LockedModel;
+use relock_locking::{LockVariant, LockedModel};
 use relock_trace::json::Value;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -313,8 +313,16 @@ fn dispatch(hub: &Arc<CampaignHub>, shutdown: &AtomicBool, request: Request) -> 
             threads,
             fast,
             monolithic,
+            variant,
             checkpoint,
         } => {
+            // Reject unknown variants before the model is even opened: a
+            // typo must come back as `bad_request`, never take down the
+            // daemon or silently run the wrong attack.
+            let variant = match variant.parse::<LockVariant>() {
+                Ok(v) => v,
+                Err(why) => return err_response("bad_request", &why),
+            };
             let model = std::fs::File::open(&model_path)
                 .map_err(|e| format!("cannot open {model_path:?}: {e}"))
                 .and_then(|mut f| {
@@ -333,6 +341,7 @@ fn dispatch(hub: &Arc<CampaignHub>, shutdown: &AtomicBool, request: Request) -> 
                 threads: threads as usize,
                 fast,
                 monolithic,
+                variant,
                 ..CampaignConfig::default()
             };
             let id = match checkpoint {

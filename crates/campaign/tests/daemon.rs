@@ -94,6 +94,7 @@ fn tcp_daemon_runs_a_campaign_end_to_end() {
             threads: 1,
             fast: true,
             monolithic: false,
+            variant: "sign".into(),
             checkpoint: None,
         })
         .expect("submit");
@@ -177,6 +178,7 @@ fn unix_socket_daemon_speaks_the_same_protocol() {
             threads: 1,
             fast: true,
             monolithic: false,
+            variant: "sign".into(),
             checkpoint: None,
         })
         .expect("submit over uds");
@@ -253,6 +255,7 @@ fn full_hub_rejects_submissions_with_the_overloaded_code() {
             threads: 1,
             fast: true,
             monolithic: false,
+            variant: "sign".into(),
             checkpoint: None,
         })
         .unwrap_err();
@@ -281,10 +284,92 @@ fn submit_with_a_bad_model_path_is_a_request_error() {
             threads: 1,
             fast: true,
             monolithic: false,
+            variant: "sign".into(),
             checkpoint: None,
         })
         .unwrap_err();
     assert!(err.starts_with("bad_request"), "got {err}");
     client.call_ok(&Request::Shutdown).unwrap();
     server.join();
+}
+
+#[test]
+fn trigger_variant_round_trips_and_unknown_variants_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("relock-daemon-var-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("victim-sar.rlk");
+    let model = {
+        let mut rng = Prng::seed_from_u64(4400);
+        build_mlp(
+            &MlpSpec {
+                input: 6,
+                hidden: vec![8],
+                classes: 3,
+            },
+            LockSpec::sar(4),
+            &mut rng,
+        )
+        .expect("trigger model builds")
+    };
+    save_model(&model, &model_path);
+
+    let hub = CampaignHub::new(1, None);
+    let server = ServerHandle::spawn(hub, "tcp:127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // An unknown variant spelling is a typed request error, not a panic
+    // or a dropped connection.
+    let err = client
+        .call_ok(&Request::Submit {
+            model_path: model_path.display().to_string(),
+            tenant: "trent".into(),
+            seed: 73,
+            weight: 1,
+            budget: None,
+            threads: 1,
+            fast: true,
+            monolithic: false,
+            variant: "quantum".into(),
+            checkpoint: None,
+        })
+        .unwrap_err();
+    assert!(err.starts_with("bad_request"), "got {err}");
+    client
+        .call_ok(&Request::Ping)
+        .expect("daemon healthy after rejection");
+
+    // The sar spelling rides the wire into the hub's dispatch: the
+    // campaign runs the sampling segment — completed, query-consuming,
+    // but never validated (there is no per-layer validation to run).
+    let submitted = client
+        .call_ok(&Request::Submit {
+            model_path: model_path.display().to_string(),
+            tenant: "trent".into(),
+            seed: 73,
+            weight: 1,
+            budget: None,
+            threads: 1,
+            fast: true,
+            monolithic: false,
+            variant: "sar".into(),
+            checkpoint: None,
+        })
+        .expect("submit sar campaign");
+    let id = submitted.get("id").and_then(Value::as_u64).unwrap();
+    let campaign = wait_done(&mut client, id, Duration::from_secs(60));
+    assert_eq!(
+        campaign.get("state").and_then(Value::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        campaign.get("validated").and_then(Value::as_bool),
+        Some(false),
+        "sampling segments are never validated"
+    );
+    assert!(campaign.get("key").and_then(Value::as_str).is_some());
+    assert!(campaign.get("queries").and_then(Value::as_u64).unwrap() > 0);
+
+    client.call_ok(&Request::Shutdown).unwrap();
+    server.join();
+    std::fs::remove_file(&model_path).ok();
 }

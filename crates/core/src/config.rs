@@ -1,6 +1,7 @@
 //! Attack configuration.
 
 use relock_graph::Precision;
+use relock_locking::LockVariant;
 
 /// Worker threads requested via the `RELOCK_THREADS` environment variable,
 /// or 1 when unset/invalid. Unlike the tensor kernels' auto-detected
@@ -155,6 +156,15 @@ pub struct AttackConfig {
     ///
     /// [`Decryptor::run`]: crate::Decryptor::run
     pub query_budget: Option<u64>,
+    /// Lock variant the victim is believed to carry. The algebraic
+    /// [`Decryptor`] handles the unit-lock variants ([`LockVariant::Sign`],
+    /// [`LockVariant::Scale`]); trigger variants have no per-unit lock
+    /// sites, so attack drivers dispatch them to the sampling search
+    /// ([`sampling_key_search`]) instead.
+    ///
+    /// [`Decryptor`]: crate::Decryptor
+    /// [`sampling_key_search`]: crate::sampling_key_search
+    pub variant: LockVariant,
 }
 
 impl Default for AttackConfig {
@@ -190,6 +200,7 @@ impl Default for AttackConfig {
             disable_algebraic: false,
             preimage_perturbation: 0.0,
             query_budget: None,
+            variant: LockVariant::Sign,
         }
     }
 }

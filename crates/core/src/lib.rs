@@ -62,8 +62,12 @@ mod error;
 mod infer;
 mod learning;
 mod monolithic;
+mod oracleless;
 mod probs;
+mod sampling;
 mod telemetry;
+#[doc(hidden)]
+pub mod testutil;
 mod validate;
 mod weightlock;
 
@@ -88,6 +92,11 @@ pub use learning::{
     LearnedMultipliers,
 };
 pub use monolithic::{MonolithicAttack, MonolithicConfig, MonolithicReport};
+pub use oracleless::{
+    neuroevolution_key_search, weight_site_features, weight_stats_attack, EvolutionConfig,
+    OracleLessReport, WeightStatsClassifier, WEIGHT_FEATURES,
+};
+pub use sampling::{sampling_key_search, SamplingConfig, SamplingReport};
 pub use telemetry::{Procedure, QueryStats, QueryStatsSnapshot, ScopeCounts, TimingBreakdown};
 pub use validate::{
     key_vector_validation, key_vector_validation_checked, key_vector_validation_checked_with,

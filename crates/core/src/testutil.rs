@@ -1,0 +1,252 @@
+//! Shared conformance-test harness.
+//!
+//! The differential suites — `parallel_equiv` (thread sweep),
+//! `dist_equiv` (worker-process sweep), and `variant_matrix` (lock-variant
+//! × attack matrix) — all compare complete attack runs on the same
+//! observables: recovered key, underlying query count, broker accounting,
+//! and every checkpoint frame byte-for-byte with wall-clock fields zeroed.
+//! This module is their single source of victims, sinks, normalizers, and
+//! assertions; it is compiled into the library so downstream crates'
+//! integration tests (relock-dist, relock-campaign) reuse it instead of
+//! copy-pasting.
+//!
+//! Not part of the public API — hidden from docs and exempt from semver.
+
+use crate::checkpoint::{AttackState, CheckpointPolicy, CheckpointSink};
+use crate::config::AttackConfig;
+use crate::decrypt::{DecryptionReport, Decryptor};
+use relock_locking::{CountingOracle, LockSpec, LockVariant, LockedModel};
+use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
+use relock_serve::{Broker, BrokerConfig, QueryStatsSnapshot};
+use relock_tensor::rng::Prng;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The 16-bit two-hidden-layer MLP victim used across the equivalence
+/// suites (seed 700).
+pub fn mlp16_victim() -> LockedModel {
+    variant_victim(LockVariant::Sign, 16, 700)
+}
+
+/// The small LeNet victim used across the equivalence suites (seed 510).
+pub fn lenet_victim() -> LockedModel {
+    let mut rng = Prng::seed_from_u64(510);
+    build_lenet(
+        &LenetSpec {
+            in_channels: 1,
+            h: 12,
+            w: 12,
+            c1: 3,
+            c2: 4,
+            fc1: 10,
+            fc2: 8,
+            classes: 4,
+        },
+        LockSpec::evenly(8),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// An MLP victim of the standard equivalence geometry (12 → 10 → 6 → 3)
+/// locked with an arbitrary variant — the matrix suite's victim factory.
+pub fn variant_victim(variant: LockVariant, bits: usize, seed: u64) -> LockedModel {
+    let mut rng = Prng::seed_from_u64(seed);
+    build_mlp(
+        &MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        },
+        LockSpec::with_variant(bits, variant),
+        &mut rng,
+    )
+    .unwrap()
+}
+
+/// A sink that records *every* frame the engine persists, not just the
+/// last — the sweeps compare whole checkpoint histories, so a divergence
+/// at any phase cut is caught even if the final states agree.
+#[derive(Default)]
+pub struct RecordingSink {
+    frames: Mutex<Vec<Vec<u8>>>,
+}
+
+impl RecordingSink {
+    /// All frames persisted so far, in order.
+    pub fn frames(&self) -> Vec<Vec<u8>> {
+        self.frames.lock().expect("sink poisoned").clone()
+    }
+}
+
+impl CheckpointSink for RecordingSink {
+    fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        self.frames
+            .lock()
+            .expect("sink poisoned")
+            .push(bytes.to_vec());
+        Ok(())
+    }
+
+    fn load(&self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.frames.lock().expect("sink poisoned").last().cloned())
+    }
+}
+
+/// Re-encodes a frame with its wall-clock fields zeroed. Everything else —
+/// PRNG state, key bits, phase cut, query accounting — must already be
+/// deterministic, so the normalized frames are compared byte-for-byte.
+pub fn normalize_frame(frame: &[u8]) -> Vec<u8> {
+    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
+    st.timing_nanos = [0; 4];
+    st.stats.oracle_time = Duration::ZERO;
+    st.encode()
+}
+
+/// Additionally zeroes the whole broker-stats block. Under process-kill
+/// chaos a re-executed item legitimately re-*requests* rows (served from
+/// the memo cache, so `underlying` never moves), which perturbs the
+/// request-side accounting inside frames; the attack state proper — PRNG
+/// streams, key bits, phase cuts — must still be byte-identical.
+pub fn normalize_frame_no_stats(frame: &[u8]) -> Vec<u8> {
+    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
+    st.timing_nanos = [0; 4];
+    st.stats = QueryStatsSnapshot::default();
+    st.encode()
+}
+
+/// A stats snapshot with its wall-clock field zeroed, for equality checks.
+pub fn strip_clock(stats: &QueryStatsSnapshot) -> QueryStatsSnapshot {
+    let mut s = stats.clone();
+    s.oracle_time = Duration::ZERO;
+    s
+}
+
+/// One complete attack run: the report plus every normalized checkpoint
+/// frame.
+pub struct RunTrace {
+    /// The decryption report.
+    pub report: DecryptionReport,
+    /// Normalized checkpoint frames in persistence order.
+    pub frames: Vec<Vec<u8>>,
+}
+
+/// Runs the attack in-process at the given thread count with an
+/// every-cut recording sink.
+pub fn run_threads(
+    model: &LockedModel,
+    mut cfg: AttackConfig,
+    threads: usize,
+    attack_seed: u64,
+) -> RunTrace {
+    cfg.threads = threads;
+    let oracle = CountingOracle::new(model);
+    let broker = Broker::with_config(&oracle, BrokerConfig::default());
+    let sink = RecordingSink::default();
+    let (report, status) = Decryptor::new(cfg)
+        .resume(
+            model.white_box(),
+            &broker,
+            &mut Prng::seed_from_u64(attack_seed),
+            &sink,
+            CheckpointPolicy::EVERY_CUT,
+        )
+        .unwrap();
+    assert!(!status.resumed(), "empty sink must start fresh");
+    RunTrace {
+        report,
+        frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
+    }
+}
+
+/// The in-process sequential reference every parallel or distributed run
+/// is held to.
+pub fn sequential_run(model: &LockedModel, cfg: &AttackConfig, attack_seed: u64) -> RunTrace {
+    run_threads(model, *cfg, 1, attack_seed)
+}
+
+/// Asserts every observable the engine promises to keep stable.
+pub fn assert_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
+    assert_eq!(
+        t.report.key, reference.report.key,
+        "{ctx}: recovered key diverged"
+    );
+    assert_eq!(
+        t.report.queries, reference.report.queries,
+        "{ctx}: underlying query count diverged"
+    );
+    assert_eq!(
+        strip_clock(&t.report.stats),
+        strip_clock(&reference.report.stats),
+        "{ctx}: broker accounting diverged"
+    );
+    assert_eq!(
+        t.frames.len(),
+        reference.frames.len(),
+        "{ctx}: checkpoint cadence diverged"
+    );
+    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
+        assert_eq!(
+            p,
+            r,
+            "{ctx}: checkpoint frame {i} of {} is not byte-identical",
+            reference.frames.len()
+        );
+    }
+}
+
+/// The chaos-robust observables: the key, the paper's underlying query
+/// count, and every checkpoint frame modulo request-side broker stats.
+pub fn assert_chaos_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
+    assert_eq!(
+        t.report.key, reference.report.key,
+        "{ctx}: recovered key diverged"
+    );
+    assert_eq!(
+        t.report.queries, reference.report.queries,
+        "{ctx}: underlying query count diverged"
+    );
+    assert_eq!(
+        t.frames.len(),
+        reference.frames.len(),
+        "{ctx}: checkpoint cadence diverged"
+    );
+    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
+        assert_eq!(
+            normalize_frame_no_stats(p),
+            normalize_frame_no_stats(r),
+            "{ctx}: checkpoint frame {i} diverged beyond broker stats"
+        );
+    }
+}
+
+/// Saves a victim where worker processes can load it; deleted on drop
+/// even when an assertion unwinds.
+pub struct ModelFile {
+    /// Path of the serialized model.
+    pub path: PathBuf,
+}
+
+impl ModelFile {
+    /// Serializes `model` to a unique file under the system temp dir.
+    pub fn save(model: &LockedModel) -> ModelFile {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "relock-dist-test-{}-{}.model",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = std::fs::File::create(&path).expect("create model file");
+        model.save(&mut f).expect("save model");
+        ModelFile { path }
+    }
+}
+
+impl Drop for ModelFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}

@@ -5,120 +5,14 @@
 //! zeroed). This is the determinism contract of DESIGN.md §3e, checked as
 //! a seeded sweep over two victim architectures and over the algebraic,
 //! learning, and error-correction paths.
+//!
+//! Victims, sinks, normalizers, and the trace assertions live in
+//! `relock_attack::testutil`, shared with the distributed and
+//! lock-variant suites.
 
-use relock_attack::{
-    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, DecryptionReport, Decryptor,
-};
-use relock_locking::{CountingOracle, LockSpec, LockedModel};
-use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
-use relock_serve::{Broker, BrokerConfig, QueryStatsSnapshot};
-use relock_tensor::rng::Prng;
-use std::io;
-use std::sync::Mutex;
-use std::time::Duration;
-
-fn mlp16_victim() -> LockedModel {
-    let mut rng = Prng::seed_from_u64(700);
-    build_mlp(
-        &MlpSpec {
-            input: 12,
-            hidden: vec![10, 6],
-            classes: 3,
-        },
-        LockSpec::evenly(16),
-        &mut rng,
-    )
-    .unwrap()
-}
-
-fn lenet_victim() -> LockedModel {
-    let mut rng = Prng::seed_from_u64(510);
-    build_lenet(
-        &LenetSpec {
-            in_channels: 1,
-            h: 12,
-            w: 12,
-            c1: 3,
-            c2: 4,
-            fc1: 10,
-            fc2: 8,
-            classes: 4,
-        },
-        LockSpec::evenly(8),
-        &mut rng,
-    )
-    .unwrap()
-}
-
-/// A sink that records *every* frame the engine persists, not just the
-/// last — the sweep compares whole checkpoint histories, so a divergence
-/// at any phase cut is caught even if the final states agree.
-#[derive(Default)]
-struct RecordingSink {
-    frames: Mutex<Vec<Vec<u8>>>,
-}
-
-impl RecordingSink {
-    fn frames(&self) -> Vec<Vec<u8>> {
-        self.frames.lock().expect("sink poisoned").clone()
-    }
-}
-
-impl CheckpointSink for RecordingSink {
-    fn save(&self, bytes: &[u8]) -> io::Result<()> {
-        self.frames
-            .lock()
-            .expect("sink poisoned")
-            .push(bytes.to_vec());
-        Ok(())
-    }
-
-    fn load(&self) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.frames.lock().expect("sink poisoned").last().cloned())
-    }
-}
-
-/// Re-encodes a frame with its wall-clock fields zeroed. Everything else —
-/// PRNG state, key bits, phase cut, query accounting — must already be
-/// deterministic, so the normalized frames are compared byte-for-byte.
-fn normalize_frame(frame: &[u8]) -> Vec<u8> {
-    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
-    st.timing_nanos = [0; 4];
-    st.stats.oracle_time = Duration::ZERO;
-    st.encode()
-}
-
-fn strip_clock(stats: &QueryStatsSnapshot) -> QueryStatsSnapshot {
-    let mut s = stats.clone();
-    s.oracle_time = Duration::ZERO;
-    s
-}
-
-struct RunTrace {
-    report: DecryptionReport,
-    frames: Vec<Vec<u8>>,
-}
-
-fn run(model: &LockedModel, mut cfg: AttackConfig, threads: usize, attack_seed: u64) -> RunTrace {
-    cfg.threads = threads;
-    let oracle = CountingOracle::new(model);
-    let broker = Broker::with_config(&oracle, BrokerConfig::default());
-    let sink = RecordingSink::default();
-    let (report, status) = Decryptor::new(cfg)
-        .resume(
-            model.white_box(),
-            &broker,
-            &mut Prng::seed_from_u64(attack_seed),
-            &sink,
-            CheckpointPolicy::EVERY_CUT,
-        )
-        .unwrap();
-    assert!(!status.resumed(), "empty sink must start fresh");
-    RunTrace {
-        report,
-        frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
-    }
-}
+use relock_attack::testutil::{lenet_victim, mlp16_victim, run_threads, strip_clock};
+use relock_attack::AttackConfig;
+use relock_locking::LockedModel;
 
 /// Runs the sweep: `threads = 1` is the reference; 2, 4, and 8 must match
 /// it bit-for-bit on every observable the engine promises to keep stable.
@@ -129,7 +23,7 @@ fn assert_parallel_matches_sequential(
     label: &str,
 ) {
     for &seed in seeds {
-        let reference = run(model, cfg, 1, seed);
+        let reference = run_threads(model, cfg, 1, seed);
         assert_eq!(
             reference.report.fidelity(model.true_key()),
             1.0,
@@ -140,7 +34,7 @@ fn assert_parallel_matches_sequential(
             "{label} seed {seed}: EVERY_CUT must persist at least one frame"
         );
         for threads in [2usize, 4, 8] {
-            let t = run(model, cfg, threads, seed);
+            let t = run_threads(model, cfg, threads, seed);
             let ctx = format!("{label} seed {seed} threads {threads}");
             assert_eq!(
                 t.report.key, reference.report.key,
@@ -219,7 +113,7 @@ fn learning_and_correction_paths_are_bit_identical_across_thread_counts() {
     };
     let victim = mlp16_victim();
     assert_parallel_matches_sequential(&victim, cfg, &[700, 732], "mlp16-learned");
-    let corrected: usize = run(&victim, cfg, 1, 732)
+    let corrected: usize = run_threads(&victim, cfg, 1, 732)
         .report
         .layers
         .iter()

@@ -16,7 +16,7 @@
 use relock_attack::{AttackConfig, LearningConfig, ValidationTarget, ValidationVerdict};
 use relock_campaign::ProtoError;
 use relock_graph::{KeySlot, NodeId, UnitLayout};
-use relock_locking::OracleError;
+use relock_locking::{LockVariant, OracleError};
 use relock_tensor::rng::PrngState;
 use relock_trace::json::Value;
 use std::time::Duration;
@@ -212,6 +212,24 @@ pub fn encode_config(cfg: &AttackConfig) -> Value {
                 None => Value::Null,
             },
         ),
+        (
+            "variant".into(),
+            Value::str(match cfg.variant {
+                LockVariant::Sign => "sign",
+                LockVariant::Scale(_) => "scale",
+                LockVariant::SarTrigger => "sar",
+                LockVariant::AntiSatTrigger => "antisat",
+            }),
+        ),
+        (
+            "variant_factor".into(),
+            match cfg.variant {
+                // The scale factor feeds the arithmetic, so it crosses the
+                // wire as its bit pattern like every other f64 field.
+                LockVariant::Scale(factor) => Value::num_u64(factor.to_bits()),
+                _ => Value::Null,
+            },
+        ),
     ])
 }
 
@@ -260,6 +278,13 @@ pub fn decode_config(doc: &Value) -> Result<AttackConfig, ProtoError> {
         disable_algebraic: field_bool(doc, "disable_algebraic")?,
         preimage_perturbation: field_f64_bits(doc, "preimage_perturbation")?,
         query_budget: doc.get("query_budget").and_then(Value::as_u64),
+        variant: match field_str(doc, "variant")? {
+            "sign" => LockVariant::Sign,
+            "scale" => LockVariant::Scale(field_f64_bits(doc, "variant_factor")?),
+            "sar" => LockVariant::SarTrigger,
+            "antisat" => LockVariant::AntiSatTrigger,
+            other => return Err(malformed(format!("unknown lock variant {other:?}"))),
+        },
     })
 }
 
@@ -494,6 +519,39 @@ mod tests {
         let reparsed = Value::parse(&text).unwrap();
         let back2 = decode_config(&reparsed).unwrap();
         assert_eq!(back2.epsilon_min.to_bits(), cfg.epsilon_min.to_bits());
+    }
+
+    #[test]
+    fn config_variant_round_trips_and_rejects_unknowns() {
+        for variant in [
+            LockVariant::Sign,
+            LockVariant::Scale(-0.7543e-3),
+            LockVariant::SarTrigger,
+            LockVariant::AntiSatTrigger,
+        ] {
+            let cfg = AttackConfig {
+                variant,
+                ..AttackConfig::fast()
+            };
+            let back = decode_config(&encode_config(&cfg)).unwrap();
+            match (back.variant, variant) {
+                (LockVariant::Scale(a), LockVariant::Scale(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        // A coordinator speaking a newer dialect must be rejected, not
+        // silently downgraded to some default variant.
+        let mut doc = encode_config(&AttackConfig::fast());
+        if let Value::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "variant" {
+                    *v = Value::str("quantum");
+                }
+            }
+        }
+        assert!(matches!(decode_config(&doc), Err(ProtoError::Malformed(_))));
     }
 
     #[test]

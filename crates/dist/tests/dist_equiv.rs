@@ -7,163 +7,25 @@
 //! checks that RLCP checkpoints carry a distributed run across coordinator
 //! crashes, and a budget-exhaustion test checks the circuit breaker's
 //! in-process fallback.
+//!
+//! Victims, sinks, normalizers, and the trace assertions live in
+//! `relock_attack::testutil`, shared with the in-process thread sweep and
+//! the lock-variant matrix suite.
 
-use relock_attack::{
-    AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, DecryptionReport, Decryptor,
+use relock_attack::testutil::{
+    assert_chaos_traces_match, assert_traces_match, lenet_victim, mlp16_victim, normalize_frame,
+    sequential_run, variant_victim, ModelFile, RecordingSink, RunTrace,
 };
+use relock_attack::{AttackConfig, CheckpointPolicy, Decryptor};
 use relock_dist::{DistChaos, DistCoordinator, DistOptions, DistReport};
-use relock_locking::{CountingOracle, LockSpec, LockedModel};
-use relock_nn::{build_lenet, build_mlp, LenetSpec, MlpSpec};
-use relock_serve::{
-    Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle, QueryStatsSnapshot,
-};
+use relock_locking::{CountingOracle, LockVariant, LockedModel};
+use relock_serve::{Broker, BrokerConfig, ChaosConfig, ChaosCrash, ChaosOracle};
 use relock_tensor::rng::Prng;
-use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 fn worker_bin() -> &'static str {
     env!("CARGO_BIN_EXE_dist_worker")
-}
-
-fn mlp16_victim() -> LockedModel {
-    let mut rng = Prng::seed_from_u64(700);
-    build_mlp(
-        &MlpSpec {
-            input: 12,
-            hidden: vec![10, 6],
-            classes: 3,
-        },
-        LockSpec::evenly(16),
-        &mut rng,
-    )
-    .unwrap()
-}
-
-fn lenet_victim() -> LockedModel {
-    let mut rng = Prng::seed_from_u64(510);
-    build_lenet(
-        &LenetSpec {
-            in_channels: 1,
-            h: 12,
-            w: 12,
-            c1: 3,
-            c2: 4,
-            fc1: 10,
-            fc2: 8,
-            classes: 4,
-        },
-        LockSpec::evenly(8),
-        &mut rng,
-    )
-    .unwrap()
-}
-
-/// Saves the victim where worker processes can load it; deleted by
-/// [`ModelFile::drop`] even when an assertion unwinds.
-struct ModelFile {
-    path: PathBuf,
-}
-
-impl ModelFile {
-    fn save(model: &LockedModel) -> ModelFile {
-        static SEQ: AtomicU64 = AtomicU64::new(0);
-        let path = std::env::temp_dir().join(format!(
-            "relock-dist-test-{}-{}.model",
-            std::process::id(),
-            SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let mut f = std::fs::File::create(&path).expect("create model file");
-        model.save(&mut f).expect("save model");
-        ModelFile { path }
-    }
-}
-
-impl Drop for ModelFile {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
-    }
-}
-
-/// Records every persisted frame so whole checkpoint histories compare.
-#[derive(Default)]
-struct RecordingSink {
-    frames: Mutex<Vec<Vec<u8>>>,
-}
-
-impl RecordingSink {
-    fn frames(&self) -> Vec<Vec<u8>> {
-        self.frames.lock().expect("sink poisoned").clone()
-    }
-}
-
-impl CheckpointSink for RecordingSink {
-    fn save(&self, bytes: &[u8]) -> io::Result<()> {
-        self.frames
-            .lock()
-            .expect("sink poisoned")
-            .push(bytes.to_vec());
-        Ok(())
-    }
-
-    fn load(&self) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.frames.lock().expect("sink poisoned").last().cloned())
-    }
-}
-
-/// Zeroes a frame's wall-clock fields; everything else must already be
-/// deterministic.
-fn normalize_frame(frame: &[u8]) -> Vec<u8> {
-    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
-    st.timing_nanos = [0; 4];
-    st.stats.oracle_time = Duration::ZERO;
-    st.encode()
-}
-
-/// Additionally zeroes the whole broker-stats block. Under process-kill
-/// chaos a re-executed item legitimately re-*requests* rows (served from
-/// the memo cache, so `underlying` never moves), which perturbs the
-/// request-side accounting inside frames; the attack state proper — PRNG
-/// streams, key bits, phase cuts — must still be byte-identical.
-fn normalize_frame_no_stats(frame: &[u8]) -> Vec<u8> {
-    let mut st = AttackState::decode(frame).expect("engine wrote an undecodable frame");
-    st.timing_nanos = [0; 4];
-    st.stats = QueryStatsSnapshot::default();
-    st.encode()
-}
-
-fn strip_clock(stats: &QueryStatsSnapshot) -> QueryStatsSnapshot {
-    let mut s = stats.clone();
-    s.oracle_time = Duration::ZERO;
-    s
-}
-
-struct RunTrace {
-    report: DecryptionReport,
-    frames: Vec<Vec<u8>>,
-}
-
-/// The in-process sequential reference every distributed run is held to.
-fn sequential_run(model: &LockedModel, cfg: &AttackConfig, attack_seed: u64) -> RunTrace {
-    let oracle = CountingOracle::new(model);
-    let broker = Broker::with_config(&oracle, BrokerConfig::default());
-    let sink = RecordingSink::default();
-    let (report, _status) = Decryptor::new(*cfg)
-        .resume(
-            model.white_box(),
-            &broker,
-            &mut Prng::seed_from_u64(attack_seed),
-            &sink,
-            CheckpointPolicy::EVERY_CUT,
-        )
-        .unwrap();
-    RunTrace {
-        report,
-        frames: sink.frames().iter().map(|f| normalize_frame(f)).collect(),
-    }
 }
 
 /// Runs the attack through a [`DistCoordinator`] over real worker
@@ -199,61 +61,6 @@ fn dist_run(
     )
 }
 
-/// Asserts every observable the engine promises to keep stable.
-fn assert_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
-    assert_eq!(
-        t.report.key, reference.report.key,
-        "{ctx}: recovered key diverged"
-    );
-    assert_eq!(
-        t.report.queries, reference.report.queries,
-        "{ctx}: underlying query count diverged"
-    );
-    assert_eq!(
-        strip_clock(&t.report.stats),
-        strip_clock(&reference.report.stats),
-        "{ctx}: broker accounting diverged"
-    );
-    assert_eq!(
-        t.frames.len(),
-        reference.frames.len(),
-        "{ctx}: checkpoint cadence diverged"
-    );
-    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
-        assert_eq!(
-            p,
-            r,
-            "{ctx}: checkpoint frame {i} of {} is not byte-identical",
-            reference.frames.len()
-        );
-    }
-}
-
-/// The chaos-robust observables: the key, the paper's underlying query
-/// count, and every checkpoint frame modulo request-side broker stats.
-fn assert_chaos_traces_match(t: &RunTrace, reference: &RunTrace, ctx: &str) {
-    assert_eq!(
-        t.report.key, reference.report.key,
-        "{ctx}: recovered key diverged"
-    );
-    assert_eq!(
-        t.report.queries, reference.report.queries,
-        "{ctx}: underlying query count diverged"
-    );
-    assert_eq!(
-        t.frames.len(),
-        reference.frames.len(),
-        "{ctx}: checkpoint cadence diverged"
-    );
-    for (i, (p, r)) in t.frames.iter().zip(&reference.frames).enumerate() {
-        assert_eq!(
-            normalize_frame_no_stats(p),
-            normalize_frame_no_stats(r),
-            "{ctx}: checkpoint frame {i} diverged beyond broker stats"
-        );
-    }
-}
-
 /// The headline contract: 1 process == 2 processes == 4 processes,
 /// byte-for-byte, against the in-process sequential reference.
 fn assert_dist_matches_sequential(model: &LockedModel, seeds: &[u64], label: &str) {
@@ -286,6 +93,34 @@ fn mlp16_worker_sweep_is_byte_identical_to_sequential() {
 #[test]
 fn lenet_worker_sweep_is_byte_identical_to_sequential() {
     assert_dist_matches_sequential(&lenet_victim(), &[512], "lenet");
+}
+
+/// Trigger-locked victims have no per-unit lock sites, so the coordinator
+/// has nothing to route — but a distributed run must still complete and
+/// reproduce the in-process trace byte-for-byte rather than wedge or
+/// panic on an empty work list.
+#[test]
+fn trigger_victims_survive_the_worker_sweep_byte_identically() {
+    for (variant, label) in [
+        (LockVariant::SarTrigger, "sar"),
+        (LockVariant::AntiSatTrigger, "antisat"),
+    ] {
+        let model = variant_victim(variant, 8, 700);
+        let cfg = AttackConfig {
+            variant,
+            ..AttackConfig::fast()
+        };
+        let file = ModelFile::save(&model);
+        let reference = sequential_run(&model, &cfg, 701);
+        for workers in [1usize, 2] {
+            let mut opts = DistOptions::new(worker_bin());
+            opts.workers = workers;
+            let (t, dist) = dist_run(&model, &file, &cfg, 701, opts);
+            let ctx = format!("{label} trigger workers {workers}");
+            assert_traces_match(&t, &reference, &ctx);
+            assert_eq!(dist.fell_back, None, "{ctx}: no fallback expected");
+        }
+    }
 }
 
 /// `kill -9` at scheduled routed-row points: the querying worker dies

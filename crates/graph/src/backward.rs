@@ -186,6 +186,27 @@ impl Op {
                 }
                 (vec![dx], None)
             }
+            Op::KeyedTrigger { .. } => {
+                let Saved::Mask(signs) = saved else {
+                    unreachable!("trigger saved context")
+                };
+                let raw = inputs[1];
+                let mut dx = grad_out.clone();
+                let (batch, size) = (dx.dims()[0], dx.dims()[1]);
+                let d = dx.as_mut_slice();
+                let sg = signs.as_slice();
+                for s in 0..batch {
+                    if sg[s] < 0.0 {
+                        for v in &mut d[s * size..(s + 1) * size] {
+                            *v = -*v;
+                        }
+                    }
+                }
+                // The comparator is discrete: key gradients are identically
+                // zero (the learning procedure cannot see trigger bits), and
+                // the raw-input branch has zero gradient almost everywhere.
+                (vec![dx, Tensor::zeros([batch, raw.dims()[1]])], None)
+            }
             Op::Add => (vec![grad_out.clone(), grad_out.clone()], None),
             Op::MaxPool2d { .. } => {
                 let Saved::ArgMax(arg) = saved else {

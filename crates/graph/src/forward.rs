@@ -44,6 +44,31 @@ pub(crate) fn effective_linear_weight<'a>(op: &'a Op, keys: &KeyAssignment) -> C
     }
 }
 
+/// Per-sample flip signs (`±1`) a `KeyedTrigger` applies to its guarded
+/// row: each raw-input row's sign pattern at `trigger_dims` is compared
+/// against the key bits (`multiplier < 0`) by the comparator.
+pub(crate) fn trigger_flip_signs(
+    trigger_dims: &[usize],
+    slots: &[crate::key::KeySlot],
+    kind: &crate::op::TriggerKind,
+    raw: &Tensor,
+    keys: &KeyAssignment,
+) -> Vec<f64> {
+    let bits: Vec<bool> = slots.iter().map(|s| keys.multiplier(*s) < 0.0).collect();
+    let (batch, rsize) = (raw.dims()[0], raw.dims()[1]);
+    let rs = raw.as_slice();
+    let mut sig = vec![false; trigger_dims.len()];
+    let mut out = Vec::with_capacity(batch);
+    for s in 0..batch {
+        let row = &rs[s * rsize..(s + 1) * rsize];
+        for (b, &d) in sig.iter_mut().zip(trigger_dims) {
+            *b = row[d] >= 0.0;
+        }
+        out.push(if kind.fires(&sig, &bits) { -1.0 } else { 1.0 });
+    }
+    out
+}
+
 /// The multiplier a `KeyedScale` op applies for a continuous key value `m`.
 #[inline]
 pub(crate) fn scale_multiplier(m: f64, factor: f64) -> f64 {
@@ -195,6 +220,25 @@ impl Op {
                     }
                 }
                 (y, Saved::None)
+            }
+            Op::KeyedTrigger {
+                trigger_dims,
+                slots,
+                kind,
+            } => {
+                let x = inputs[0];
+                let signs = trigger_flip_signs(trigger_dims, slots, kind, inputs[1], keys);
+                let mut y = x.clone();
+                let (batch, size) = (x.dims()[0], x.dims()[1]);
+                let data = y.as_mut_slice();
+                for (s, &sign) in signs.iter().enumerate().take(batch) {
+                    if sign < 0.0 {
+                        for v in &mut data[s * size..(s + 1) * size] {
+                            *v = -*v;
+                        }
+                    }
+                }
+                (y, Saved::Mask(Tensor::from_vec(signs, [batch, 1])))
             }
             Op::Add => {
                 let y = inputs[0].zip_map(inputs[1], |a, b| a + b);

@@ -106,6 +106,19 @@ impl Op {
                 }
                 out
             }
+            Op::KeyedTrigger { .. } => {
+                let Saved::Mask(signs) = saved else {
+                    unreachable!("trigger saved context")
+                };
+                // Locally the trigger is a constant ±1 scale of the guarded
+                // branch; the raw-input branch contributes no tangent (its
+                // derivative is zero almost everywhere).
+                if signs.as_slice()[0] < 0.0 {
+                    tangents[0].map(|v| -v)
+                } else {
+                    tangents[0].clone()
+                }
+            }
             Op::Add => tangents[0].zip_map(tangents[1], |a, b| a + b),
             Op::MaxPool2d { .. } => {
                 let Saved::ArgMax(arg) = saved else {

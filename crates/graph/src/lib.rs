@@ -64,7 +64,7 @@ mod serial;
 pub use exec::{Activations, Gradients};
 pub use graph::{Graph, GraphBuilder, GraphError, LockSite, Node, NodeId};
 pub use key::{KeyAssignment, KeySlot, UnitLayout};
-pub use op::{Op, Saved, WeightLock};
+pub use op::{Op, Saved, TriggerKind, WeightLock};
 pub use plan::{ExecPlan, Workspace};
 pub use pool::{PooledWorkspace, WorkspacePool};
 pub use relock_tensor::Precision;

@@ -22,6 +22,62 @@ pub struct WeightLock {
     pub slot: KeySlot,
 }
 
+/// Point-function flavour of an [`Op::KeyedTrigger`] lock.
+///
+/// Both flavours compare a *signature* — the sign pattern of a handful of
+/// raw input coordinates — against the key, and corrupt the guarded layer
+/// only when the comparison fires. This is the DNN port of the classic
+/// combinational trigger locks: corruption is confined to a key-indexed
+/// input subspace, so random critical-point sampling almost never observes
+/// a key-dependent output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerKind {
+    /// SARLock-style comparator: with signature `s` and key bits `k`, the
+    /// trigger fires iff exactly one of `s == k` and `s == mask` holds
+    /// (`mask` is the correct key, fixed at lock time). The correct key
+    /// (`k == mask`) never fires; every wrong key corrupts exactly two of
+    /// the `2^d` signature patterns.
+    Sar {
+        /// The correct key pattern baked into the comparator.
+        mask: Vec<bool>,
+    },
+    /// Anti-SAT-style complementary pair: the key splits into halves
+    /// `k1, k2` (so `slots.len()` is even and the signature has
+    /// `slots.len() / 2` bits). The trigger fires iff `s == ¬k1` and
+    /// `s != ¬k2` — any key with `k2 == k1` is correct and never fires,
+    /// while a key with `k2 != k1` corrupts the single pattern `s == ¬k1`.
+    AntiSat,
+}
+
+impl TriggerKind {
+    /// Signature length implied by a slot count.
+    pub fn signature_len(&self, n_slots: usize) -> usize {
+        match self {
+            TriggerKind::Sar { .. } => n_slots,
+            TriggerKind::AntiSat => n_slots / 2,
+        }
+    }
+
+    /// Whether the trigger fires (the guarded row is negated) for the
+    /// given input signature under the given key bits.
+    pub fn fires(&self, sig: &[bool], bits: &[bool]) -> bool {
+        match self {
+            TriggerKind::Sar { mask } => {
+                let at_key = sig.iter().zip(bits).all(|(s, k)| s == k);
+                let at_mask = sig.iter().zip(mask).all(|(s, m)| s == m);
+                at_key != at_mask
+            }
+            TriggerKind::AntiSat => {
+                let d = sig.len();
+                let (k1, k2) = (&bits[..d], &bits[d..]);
+                let on_g = sig.iter().zip(k1).all(|(s, k)| *s != *k);
+                let off_gbar = sig.iter().zip(k2).any(|(s, k)| *s == *k);
+                on_g && off_gbar
+            }
+        }
+    }
+}
+
 /// A graph operator.
 ///
 /// Tensors flow between nodes as `(batch, size)` matrices of flat vectors.
@@ -78,6 +134,23 @@ pub enum Op {
         slots: Vec<Option<KeySlot>>,
         /// Multiplier applied when the key bit is 1.
         factor: f64,
+    },
+    /// Combinational trigger lock guarding a whole pre-activation row.
+    ///
+    /// Takes two inputs: the guarded pre-activation (`inputs[0]`) and the
+    /// *raw network input* (`inputs[1]`), whose sign pattern at
+    /// `trigger_dims` forms the signature fed to [`TriggerKind::fires`].
+    /// When the trigger fires, the entire guarded row is negated; otherwise
+    /// the row passes through untouched. Key bits are read as
+    /// `multiplier < 0` — the comparison is discrete, so key gradients are
+    /// identically zero (the §3.5 learning procedure is blind by design).
+    KeyedTrigger {
+        /// Raw-input coordinates sampled into the signature.
+        trigger_dims: Vec<usize>,
+        /// Key slots consumed by the comparator, in order.
+        slots: Vec<KeySlot>,
+        /// Comparator flavour.
+        kind: TriggerKind,
     },
     /// Element-wise sum of exactly two same-sized inputs (residual join).
     Add,
@@ -180,6 +253,7 @@ impl Op {
             Op::Relu => "relu",
             Op::KeyedSign { .. } => "keyed_sign",
             Op::KeyedScale { .. } => "keyed_scale",
+            Op::KeyedTrigger { .. } => "keyed_trigger",
             Op::Add => "add",
             Op::MaxPool2d { .. } => "max_pool2d",
             Op::AvgPoolGlobal { .. } => "avg_pool_global",
@@ -195,7 +269,7 @@ impl Op {
     pub fn arity(&self) -> usize {
         match self {
             Op::Input { .. } => 0,
-            Op::Add => 2,
+            Op::Add | Op::KeyedTrigger { .. } => 2,
             Op::Attention { .. } => 3,
             _ => 1,
         }
@@ -257,6 +331,41 @@ impl Op {
                         "lock layout needs {} elements, input has {}",
                         layout.required_len(),
                         in_sizes[0]
+                    ));
+                }
+                Ok(in_sizes[0])
+            }
+            Op::KeyedTrigger {
+                trigger_dims,
+                slots,
+                kind,
+            } => {
+                if slots.is_empty() {
+                    return Err("trigger lock needs at least one key slot".into());
+                }
+                if let TriggerKind::Sar { mask } = kind {
+                    if mask.len() != slots.len() {
+                        return Err(format!(
+                            "trigger mask {} != slots {}",
+                            mask.len(),
+                            slots.len()
+                        ));
+                    }
+                }
+                if matches!(kind, TriggerKind::AntiSat) && slots.len() % 2 != 0 {
+                    return Err("anti-sat trigger needs an even slot count".into());
+                }
+                let sig = kind.signature_len(slots.len());
+                if trigger_dims.len() != sig {
+                    return Err(format!(
+                        "trigger dims {} != signature bits {sig}",
+                        trigger_dims.len()
+                    ));
+                }
+                if let Some(&d) = trigger_dims.iter().find(|&&d| d >= in_sizes[1]) {
+                    return Err(format!(
+                        "trigger dim {d} out of range for raw input {}",
+                        in_sizes[1]
                     ));
                 }
                 Ok(in_sizes[0])
@@ -398,6 +507,7 @@ impl Op {
             Op::KeyedSign { slots, .. } | Op::KeyedScale { slots, .. } => {
                 slots.iter().flatten().copied().collect()
             }
+            Op::KeyedTrigger { slots, .. } => slots.clone(),
             Op::Linear { weight_locks, .. } => weight_locks.iter().map(|l| l.slot).collect(),
             _ => Vec::new(),
         }
@@ -405,7 +515,11 @@ impl Op {
 
     /// Whether this operator consults the key assignment.
     pub fn is_keyed(&self) -> bool {
-        !self.key_slots().is_empty() || matches!(self, Op::KeyedSign { .. } | Op::KeyedScale { .. })
+        !self.key_slots().is_empty()
+            || matches!(
+                self,
+                Op::KeyedSign { .. } | Op::KeyedScale { .. } | Op::KeyedTrigger { .. }
+            )
     }
 }
 

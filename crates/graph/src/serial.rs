@@ -18,7 +18,7 @@
 
 use crate::graph::{Graph, GraphError, Node, NodeId};
 use crate::key::{KeySlot, UnitLayout};
-use crate::op::{Op, WeightLock};
+use crate::op::{Op, TriggerKind, WeightLock};
 use relock_tensor::im2col::ConvGeometry;
 use relock_tensor::Tensor;
 use std::fmt;
@@ -288,6 +288,31 @@ fn write_op(w: &mut impl Write, op: &Op) -> io::Result<()> {
             write_u64(w, *tokens as u64)?;
             write_u64(w, *dim as u64)?;
         }
+        Op::KeyedTrigger {
+            trigger_dims,
+            slots,
+            kind,
+        } => {
+            w.write_all(&[14])?;
+            write_u64(w, trigger_dims.len() as u64)?;
+            for d in trigger_dims {
+                write_u64(w, *d as u64)?;
+            }
+            write_u64(w, slots.len() as u64)?;
+            for s in slots {
+                write_u64(w, s.index() as u64)?;
+            }
+            match kind {
+                TriggerKind::Sar { mask } => {
+                    w.write_all(&[0])?;
+                    write_u64(w, mask.len() as u64)?;
+                    for &b in mask {
+                        w.write_all(&[u8::from(b)])?;
+                    }
+                }
+                TriggerKind::AntiSat => w.write_all(&[1])?,
+            }
+        }
     }
     Ok(())
 }
@@ -367,6 +392,52 @@ fn read_op(r: &mut impl Read) -> Result<Op, SerialError> {
             tokens: read_usize(r)?,
             dim: read_usize(r)?,
         },
+        14 => {
+            let nd = read_usize(r)?;
+            if nd > (1 << 24) {
+                return Err(SerialError::Corrupt("trigger dim list too large".into()));
+            }
+            let mut trigger_dims = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                trigger_dims.push(read_usize(r)?);
+            }
+            let ns = read_usize(r)?;
+            if ns > (1 << 24) {
+                return Err(SerialError::Corrupt("trigger slot list too large".into()));
+            }
+            let mut slots = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                slots.push(KeySlot(read_usize(r)?));
+            }
+            let mut kt = [0u8; 1];
+            r.read_exact(&mut kt)?;
+            let kind = match kt[0] {
+                0 => {
+                    let nm = read_usize(r)?;
+                    if nm > (1 << 24) {
+                        return Err(SerialError::Corrupt("trigger mask too large".into()));
+                    }
+                    let mut mask = Vec::with_capacity(nm);
+                    for _ in 0..nm {
+                        let mut b = [0u8; 1];
+                        r.read_exact(&mut b)?;
+                        mask.push(match b[0] {
+                            0 => false,
+                            1 => true,
+                            t => return Err(SerialError::Corrupt(format!("bad mask bit {t}"))),
+                        });
+                    }
+                    TriggerKind::Sar { mask }
+                }
+                1 => TriggerKind::AntiSat,
+                t => return Err(SerialError::Corrupt(format!("bad trigger kind {t}"))),
+            };
+            Op::KeyedTrigger {
+                trigger_dims,
+                slots,
+                kind,
+            }
+        }
         t => return Err(SerialError::Corrupt(format!("unknown op tag {t}"))),
     })
 }

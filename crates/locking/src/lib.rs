@@ -28,4 +28,6 @@ mod scheme;
 pub use hardened::{LabelOnlyOracle, NoisyOracle, QuantizedOracle, UnreliableOracle};
 pub use key::Key;
 pub use oracle::{CountingOracle, LockedModel, Oracle, OracleError, OutputMode};
-pub use scheme::{LockAllocator, LockError, LockSpec, LockVariant};
+pub use scheme::{
+    apply_key_constraints, KeyConstraint, LockAllocator, LockError, LockSpec, LockVariant,
+};

@@ -1,0 +1,272 @@
+//! Property tests for the trigger locks (SARLock / Anti-SAT analogues).
+//!
+//! Each case builds a locked two-layer network and an *unlocked twin*
+//! sharing the exact same weights, then checks the defining contract of
+//! point-corruption locking across a Prng sweep of shapes, keys, and
+//! inputs:
+//!
+//! * under the correct key the locked graph is **bit-identical** to the
+//!   twin on random inputs (the trigger never fires);
+//! * under a wrong key, a row is corrupted **iff** the comparator fires
+//!   on that row's input signature — corruption is confined to the
+//!   trigger subspace, which is why random critical-point sampling
+//!   degrades against these schemes (DESIGN.md §3h);
+//! * a minimally wrong key (one flipped bit) provably corrupts a crafted
+//!   input inside the trigger subspace, so the sweep is never vacuous.
+
+use relock_graph::{Graph, GraphBuilder, KeyAssignment, KeySlot, Op, TriggerKind, UnitLayout};
+use relock_locking::{apply_key_constraints, Key, LockAllocator, LockSpec, LockVariant};
+use relock_tensor::rng::Prng;
+use relock_tensor::Tensor;
+
+struct TriggerVictim {
+    locked: Graph,
+    plain: Graph,
+    /// A correct key (satisfies the allocator's constraints).
+    key: Key,
+    trigger_dims: Vec<usize>,
+    slots: Vec<KeySlot>,
+    kind: TriggerKind,
+    input: usize,
+}
+
+/// The sweep grid: `(variant, bits, input_dim, hidden)`. Anti-SAT shares
+/// must be even; SAR signatures need `input_dim >= bits`.
+fn grid() -> Vec<(LockVariant, usize, usize, usize)> {
+    let mut g = Vec::new();
+    for variant in [LockVariant::SarTrigger, LockVariant::AntiSatTrigger] {
+        for (bits, input, hidden) in [(4, 8, 6), (6, 12, 10), (8, 16, 5)] {
+            g.push((variant, bits, input, hidden));
+        }
+    }
+    g
+}
+
+fn victim(
+    variant: LockVariant,
+    bits: usize,
+    input: usize,
+    hidden: usize,
+    seed: u64,
+) -> TriggerVictim {
+    let classes = 3;
+    let mut rng = Prng::seed_from_u64(seed);
+    let w1 = rng.kaiming_tensor([hidden, input], input);
+    let b1 = rng.kaiming_tensor([hidden], input);
+    let w2 = rng.kaiming_tensor([classes, hidden], hidden);
+    let b2 = rng.kaiming_tensor([classes], hidden);
+
+    let mut alloc =
+        LockAllocator::for_trigger(LockSpec::with_variant(bits, variant), 1, input, rng.fork())
+            .expect("grid shapes fit");
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(input);
+    let lin = gb
+        .add(
+            Op::Linear {
+                w: w1.clone(),
+                b: b1.clone(),
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap();
+    let op = alloc
+        .lock_trigger_layer(UnitLayout::scalar(hidden), input)
+        .expect("grid shapes fit");
+    let keyed = if op.arity() == 2 {
+        gb.add(op, &[lin, x]).unwrap()
+    } else {
+        gb.add(op, &[lin]).unwrap()
+    };
+    let relu = gb.add(Op::Relu, &[keyed]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: w2.clone(),
+                b: b2.clone(),
+                weight_locks: vec![],
+            },
+            &[relu],
+        )
+        .unwrap();
+    let constraints = alloc.take_constraints();
+    let n_slots = alloc.finish().unwrap();
+    let locked = gb.build(out).unwrap();
+    let mut key = Key::random(n_slots, &mut rng);
+    apply_key_constraints(&mut key, &constraints);
+
+    let mut gb = GraphBuilder::new();
+    let x = gb.input(input);
+    let lin = gb
+        .add(
+            Op::Linear {
+                w: w1,
+                b: b1,
+                weight_locks: vec![],
+            },
+            &[x],
+        )
+        .unwrap();
+    let relu = gb.add(Op::Relu, &[lin]).unwrap();
+    let out = gb
+        .add(
+            Op::Linear {
+                w: w2,
+                b: b2,
+                weight_locks: vec![],
+            },
+            &[relu],
+        )
+        .unwrap();
+    let plain = gb.build(out).unwrap();
+
+    let node = locked
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.op, Op::KeyedTrigger { .. }))
+        .expect("locked graph holds the trigger op");
+    let Op::KeyedTrigger {
+        trigger_dims,
+        slots,
+        kind,
+    } = &node.op
+    else {
+        unreachable!()
+    };
+    TriggerVictim {
+        trigger_dims: trigger_dims.clone(),
+        slots: slots.clone(),
+        kind: kind.clone(),
+        locked,
+        plain,
+        key,
+        input,
+    }
+}
+
+fn rows_equal_bitwise(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl TriggerVictim {
+    /// The comparator's input signature of one raw-input row (the exact
+    /// rule the executor applies: sign at each sampled coordinate).
+    fn signature(&self, row: &[f64]) -> Vec<bool> {
+        self.trigger_dims.iter().map(|&d| row[d] >= 0.0).collect()
+    }
+
+    /// Key bits in comparator order under an assignment.
+    fn comparator_bits(&self, keys: &KeyAssignment) -> Vec<bool> {
+        self.slots
+            .iter()
+            .map(|&s| keys.multiplier(s) < 0.0)
+            .collect()
+    }
+
+    /// A raw input whose signature is exactly `sig`, otherwise random.
+    fn input_with_signature(&self, sig: &[bool], rng: &mut Prng) -> Tensor {
+        let mut row: Vec<f64> = (0..self.input).map(|_| rng.normal() * 2.0).collect();
+        for (&d, &s) in self.trigger_dims.iter().zip(sig) {
+            row[d] = if s {
+                row[d].abs().max(0.5)
+            } else {
+                -row[d].abs().max(0.5)
+            };
+        }
+        Tensor::from_vec(row, [1, self.input])
+    }
+}
+
+#[test]
+fn correct_key_is_bit_identical_to_the_unlocked_twin() {
+    let empty = KeyAssignment::from_bits(&[]);
+    for (i, (variant, bits, input, hidden)) in grid().into_iter().enumerate() {
+        let v = victim(variant, bits, input, hidden, 4100 + i as u64);
+        let mut rng = Prng::seed_from_u64(5200 + i as u64);
+        let x = rng.normal_tensor([48, input]).scale(2.0);
+        let got = v.locked.logits_batch(&x, &v.key.to_assignment());
+        let want = v.plain.logits_batch(&x, &empty);
+        assert!(
+            rows_equal_bitwise(got.as_slice(), want.as_slice()),
+            "{variant} {bits}-bit on {input}→{hidden}: correct key must be a bit-exact pass-through"
+        );
+        // And the comparator itself agrees: a correct key never fires.
+        let kb = v.comparator_bits(&v.key.to_assignment());
+        for s in 0..x.dims()[0] {
+            assert!(!v.kind.fires(&v.signature(x.row(s)), &kb));
+        }
+    }
+}
+
+#[test]
+fn wrong_keys_corrupt_exactly_the_trigger_subspace() {
+    let empty = KeyAssignment::from_bits(&[]);
+    let mut fired_total = 0usize;
+    for (i, (variant, bits, input, hidden)) in grid().into_iter().enumerate() {
+        let v = victim(variant, bits, input, hidden, 4300 + i as u64);
+        let mut rng = Prng::seed_from_u64(6400 + i as u64);
+        let want = {
+            let x = rng.normal_tensor([64, input]);
+            (x.clone(), v.plain.logits_batch(&x, &empty))
+        };
+        for _ in 0..6 {
+            let wrong = Key::random(bits, &mut rng);
+            let aw = wrong.to_assignment();
+            let kb = v.comparator_bits(&aw);
+            let got = v.locked.logits_batch(&want.0, &aw);
+            for s in 0..want.0.dims()[0] {
+                let fires = v.kind.fires(&v.signature(want.0.row(s)), &kb);
+                let differs = !rows_equal_bitwise(got.row(s), want.1.row(s));
+                assert_eq!(
+                    differs, fires,
+                    "{variant} {bits}-bit row {s}: corruption must coincide with the comparator firing"
+                );
+                fired_total += fires as usize;
+            }
+        }
+    }
+    assert!(
+        fired_total > 0,
+        "the sweep must hit the trigger subspace at least once"
+    );
+}
+
+#[test]
+fn a_minimally_wrong_key_corrupts_a_crafted_trigger_input() {
+    let empty = KeyAssignment::from_bits(&[]);
+    for (i, (variant, bits, input, hidden)) in grid().into_iter().enumerate() {
+        let v = victim(variant, bits, input, hidden, 4500 + i as u64);
+        let mut rng = Prng::seed_from_u64(7600 + i as u64);
+
+        // Flip one bit of the correct key. For SAR the comparator then
+        // fires at sig == wrong-key; for Anti-SAT flip inside the k2 half
+        // and it fires at sig == ¬k1 (the flipped coordinate matches).
+        let mut wrong = v.key.clone();
+        let flip_at = match variant {
+            LockVariant::AntiSatTrigger => bits / 2,
+            _ => 0,
+        };
+        wrong.flip_bit(flip_at);
+        let aw = wrong.to_assignment();
+        let kb = v.comparator_bits(&aw);
+
+        let sig: Vec<bool> = match variant {
+            LockVariant::SarTrigger => kb.clone(),
+            LockVariant::AntiSatTrigger => kb[..bits / 2].iter().map(|b| !b).collect(),
+            _ => unreachable!("trigger grid only"),
+        };
+        assert!(v.kind.fires(&sig, &kb), "crafted signature must fire");
+
+        let x = v.input_with_signature(&sig, &mut rng);
+        let got = v.locked.logits_batch(&x, &aw);
+        let want = v.plain.logits_batch(&x, &empty);
+        assert!(
+            !rows_equal_bitwise(got.as_slice(), want.as_slice()),
+            "{variant} {bits}-bit: a crafted in-subspace input must be corrupted"
+        );
+        // The same input under the correct key stays clean.
+        let clean = v.locked.logits_batch(&x, &v.key.to_assignment());
+        assert!(rows_equal_bitwise(clean.as_slice(), want.as_slice()));
+    }
+}

@@ -1,8 +1,9 @@
 //! The LeNet-5 ReLU variant victim (paper §4.2 "LeNet").
 
 use crate::error::BuildError;
+use crate::lockwire::add_lock_stage;
 use relock_graph::{GraphBuilder, Op, UnitLayout};
-use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_locking::{apply_key_constraints, Key, LockAllocator, LockSpec, LockedModel};
 use relock_tensor::im2col::ConvGeometry;
 use relock_tensor::rng::Prng;
 
@@ -61,10 +62,15 @@ pub fn build_lenet(
             "LeNet needs at least a 12×12 input for its two 5×5 conv + pool stages".into(),
         ));
     }
-    let mut alloc =
-        LockAllocator::with_capacities(lock, &[spec.c1, spec.c2, spec.fc1, spec.fc2], rng.fork())?;
+    let input_dim = spec.in_channels * spec.h * spec.w;
+    let trigger = lock.variant.is_trigger();
+    let mut alloc = if trigger {
+        LockAllocator::for_trigger(lock, 4, input_dim, rng.fork())?
+    } else {
+        LockAllocator::with_capacities(lock, &[spec.c1, spec.c2, spec.fc1, spec.fc2], rng.fork())?
+    };
     let mut gb = GraphBuilder::new();
-    let x = gb.input(spec.in_channels * spec.h * spec.w);
+    let x = gb.input(input_dim);
 
     // conv1: 5×5, pad 2 (shape-preserving), then 2×2 max pool.
     let g1 = ConvGeometry {
@@ -84,9 +90,14 @@ pub fn build_lenet(
         },
         &[x],
     )?;
-    let k1 = gb.add(
-        alloc.lock_layer(UnitLayout::channel_major(spec.c1, g1.out_positions()))?,
-        &[conv1],
+    let k1 = add_lock_stage(
+        &mut gb,
+        &mut alloc,
+        trigger,
+        UnitLayout::channel_major(spec.c1, g1.out_positions()),
+        conv1,
+        x,
+        input_dim,
     )?;
     let r1 = gb.add(Op::Relu, &[k1])?;
     let p1 = gb.add(
@@ -119,9 +130,14 @@ pub fn build_lenet(
         },
         &[p1],
     )?;
-    let k2 = gb.add(
-        alloc.lock_layer(UnitLayout::channel_major(spec.c2, g2.out_positions()))?,
-        &[conv2],
+    let k2 = add_lock_stage(
+        &mut gb,
+        &mut alloc,
+        trigger,
+        UnitLayout::channel_major(spec.c2, g2.out_positions()),
+        conv2,
+        x,
+        input_dim,
     )?;
     let r2 = gb.add(Op::Relu, &[k2])?;
     let p2 = gb.add(
@@ -145,7 +161,15 @@ pub fn build_lenet(
         },
         &[p2],
     )?;
-    let k3 = gb.add(alloc.lock_layer(UnitLayout::scalar(spec.fc1))?, &[l1])?;
+    let k3 = add_lock_stage(
+        &mut gb,
+        &mut alloc,
+        trigger,
+        UnitLayout::scalar(spec.fc1),
+        l1,
+        x,
+        input_dim,
+    )?;
     let r3 = gb.add(Op::Relu, &[k3])?;
     let l2 = gb.add(
         Op::Linear {
@@ -155,7 +179,15 @@ pub fn build_lenet(
         },
         &[r3],
     )?;
-    let k4 = gb.add(alloc.lock_layer(UnitLayout::scalar(spec.fc2))?, &[l2])?;
+    let k4 = add_lock_stage(
+        &mut gb,
+        &mut alloc,
+        trigger,
+        UnitLayout::scalar(spec.fc2),
+        l2,
+        x,
+        input_dim,
+    )?;
     let r4 = gb.add(Op::Relu, &[k4])?;
     let out = gb.add(
         Op::Linear {
@@ -165,9 +197,12 @@ pub fn build_lenet(
         },
         &[r4],
     )?;
+    let constraints = alloc.take_constraints();
     let slots = alloc.finish()?;
     let graph = gb.build(out)?;
-    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+    let mut key = Key::random(slots, rng);
+    apply_key_constraints(&mut key, &constraints);
+    Ok(LockedModel::new(graph, key))
 }
 
 #[cfg(test)]

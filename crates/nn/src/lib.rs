@@ -38,6 +38,7 @@
 
 mod error;
 mod lenet;
+mod lockwire;
 mod mlp;
 mod resnet;
 mod trainer;

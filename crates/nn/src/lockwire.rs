@@ -1,0 +1,32 @@
+//! Shared lock-stage wiring for the model builders.
+
+use crate::error::BuildError;
+use relock_graph::{GraphBuilder, NodeId, UnitLayout};
+use relock_locking::LockAllocator;
+
+/// Inserts this layer's lock stage after pre-activation node `pre`.
+///
+/// Unit locks (sign/scale) consume only the pre-activation; trigger locks
+/// additionally take the raw network input `x` as a second parent, whose
+/// sign pattern drives the comparator. A zero-bit trigger share degenerates
+/// to a unary pass-through op and is wired like a unit lock.
+pub(crate) fn add_lock_stage(
+    gb: &mut GraphBuilder,
+    alloc: &mut LockAllocator,
+    trigger: bool,
+    layout: UnitLayout,
+    pre: NodeId,
+    x: NodeId,
+    input_dim: usize,
+) -> Result<NodeId, BuildError> {
+    if trigger {
+        let op = alloc.lock_trigger_layer(layout, input_dim)?;
+        if op.arity() == 2 {
+            Ok(gb.add(op, &[pre, x])?)
+        } else {
+            Ok(gb.add(op, &[pre])?)
+        }
+    } else {
+        Ok(gb.add(alloc.lock_layer(layout)?, &[pre])?)
+    }
+}

@@ -1,8 +1,9 @@
 //! The multilayer-perceptron victim (paper §4.2 "MLP").
 
 use crate::error::BuildError;
+use crate::lockwire::add_lock_stage;
 use relock_graph::{GraphBuilder, KeySlot, Op, UnitLayout, WeightLock};
-use relock_locking::{Key, LockAllocator, LockSpec, LockedModel};
+use relock_locking::{apply_key_constraints, Key, LockAllocator, LockSpec, LockedModel};
 use relock_tensor::rng::Prng;
 
 /// Architecture of a fully-connected ReLU network.
@@ -49,9 +50,15 @@ pub fn build_mlp(
             "MLP needs input > 0 and ≥ 2 classes".into(),
         ));
     }
-    let mut alloc = LockAllocator::with_capacities(lock, &spec.hidden, rng.fork())?;
+    let trigger = lock.variant.is_trigger();
+    let mut alloc = if trigger {
+        LockAllocator::for_trigger(lock, spec.hidden.len(), spec.input, rng.fork())?
+    } else {
+        LockAllocator::with_capacities(lock, &spec.hidden, rng.fork())?
+    };
     let mut gb = GraphBuilder::new();
-    let mut prev = gb.input(spec.input);
+    let input_node = gb.input(spec.input);
+    let mut prev = input_node;
     let mut prev_width = spec.input;
     for &width in &spec.hidden {
         let lin = gb.add(
@@ -62,7 +69,15 @@ pub fn build_mlp(
             },
             &[prev],
         )?;
-        let keyed = gb.add(alloc.lock_layer(UnitLayout::scalar(width))?, &[lin])?;
+        let keyed = add_lock_stage(
+            &mut gb,
+            &mut alloc,
+            trigger,
+            UnitLayout::scalar(width),
+            lin,
+            input_node,
+            spec.input,
+        )?;
         prev = gb.add(Op::Relu, &[keyed])?;
         prev_width = width;
     }
@@ -74,9 +89,12 @@ pub fn build_mlp(
         },
         &[prev],
     )?;
+    let constraints = alloc.take_constraints();
     let slots = alloc.finish()?;
     let graph = gb.build(out)?;
-    Ok(LockedModel::new(graph, Key::random(slots, rng)))
+    let mut key = Key::random(slots, rng);
+    apply_key_constraints(&mut key, &constraints);
+    Ok(LockedModel::new(graph, key))
 }
 
 /// Builds an MLP protected by the §3.9(b) *weight-element* variant: key
@@ -218,6 +236,31 @@ mod tests {
                 .max_abs_diff(&m.logits_with(&rng.normal_tensor([4]), &wrong_key))
                 > 1e-12;
         assert!(differs);
+    }
+
+    #[test]
+    fn trigger_locked_mlp_builds_with_constrained_key() {
+        let spec = MlpSpec {
+            input: 12,
+            hidden: vec![10, 6],
+            classes: 3,
+        };
+        for lock in [LockSpec::sar(8), LockSpec::antisat(8)] {
+            let mut rng = Prng::seed_from_u64(44);
+            let m = build_mlp(&spec, lock, &mut rng).unwrap();
+            assert_eq!(m.true_key().len(), 8);
+            assert_eq!(m.white_box().key_slot_count(), 8);
+            // Trigger comparators are not per-unit lock sites.
+            assert!(m.white_box().lock_sites().is_empty());
+            // The sampled key satisfies the lock's constraints: with the
+            // true key the comparator never fires, so logits match the
+            // all-pass-through evaluation on any input.
+            for _ in 0..8 {
+                let x = rng.normal_tensor([12]);
+                let y = m.logits(&x);
+                assert!(y.as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
     }
 
     #[test]

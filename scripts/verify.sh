@@ -61,6 +61,17 @@ cargo run -p relock-bench --release --bin campaign_soak -- 8 4 256
 echo "==> dist soak (multi-process attack bench)"
 cargo run -p relock-bench --release --bin dist_soak -- 4 16 42 43
 
+# Lock-variant × attack matrix: the differential conformance suite
+# (decrypt cells across thread counts, sampling/oracle-less cells under
+# seed replay, trigger property sweep) plus the measured 4×3 grid. The
+# grid's key_acc medians and query counts are diffed exactly by the
+# report step below.
+echo "==> variant matrix (locks × attacks conformance)"
+cargo test -q -p relock-attack --test variant_matrix
+RELOCK_THREADS=4 cargo test -q -p relock-attack --test variant_matrix
+cargo test -q -p relock-locking --test trigger_props
+cargo run -p relock-bench --release --bin matrix
+
 # Unified bench report + benchdiff: fails on any query-count drift vs
 # the committed baseline (deterministic); local timing only warns, like
 # CI — gate on queries, not on this machine's clock.

@@ -48,13 +48,17 @@ pub use relock_tensor as tensor;
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use relock_attack::{
-        weight_lock_attack, AttackConfig, AttackState, CheckpointPolicy, CheckpointSink,
-        DecryptionReport, Decryptor, FileCheckpointSink, MemoryCheckpointSink, MonolithicAttack,
-        MonolithicConfig, Procedure, ResumeStatus,
+        neuroevolution_key_search, sampling_key_search, weight_lock_attack, weight_stats_attack,
+        AttackConfig, AttackState, CheckpointPolicy, CheckpointSink, DecryptionReport, Decryptor,
+        EvolutionConfig, FileCheckpointSink, MemoryCheckpointSink, MonolithicAttack,
+        MonolithicConfig, OracleLessReport, Procedure, ResumeStatus, SamplingConfig,
+        SamplingReport,
     };
     pub use relock_data::{cifar_like, mnist_like, two_moons, Dataset};
     pub use relock_graph::{Graph, GraphBuilder, KeyAssignment, KeySlot, NodeId, Op};
-    pub use relock_locking::{CountingOracle, Key, LockSpec, LockedModel, Oracle, OracleError};
+    pub use relock_locking::{
+        CountingOracle, Key, LockSpec, LockVariant, LockedModel, Oracle, OracleError,
+    };
     pub use relock_nn::{
         build_lenet, build_mlp, build_mlp_weight_locked, build_resnet, build_vit, LenetSpec,
         MlpSpec, ResnetSpec, Trainer, VitSpec,

@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! relock lock    --arch mlp --bits 16 --out victim.rlk [--seed N] [--no-train]
-//!                [--precision f64|f32]
+//!                [--variant sign|scale:<f>|sar|antisat] [--precision f64|f32]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
 //!                [--threads N] [--workers N] [--trace events.jsonl]
+//!                [--variant sign|scale:<f>|sar|antisat]
 //!                [--precision f64|f32] [--backend scalar|simd|simd-portable]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! relock serve   [--listen tcp:127.0.0.1:7433] [--workers N] [--cache-mb N]
 //!                [--max-campaigns N]
 //! relock submit  victim.rlk [--listen A] [--tenant T] [--seed N] [--weight N]
 //!                [--budget N] [--threads N] [--full] [--monolithic]
+//!                [--variant sign|scale:<f>|sar|antisat]
 //! relock status  [id] [--listen A]
 //! relock pause   <id> [--listen A]     relock resume <id> [--listen A]
 //! relock cancel  <id> [--listen A]     relock shutdown [--listen A]
@@ -23,6 +25,14 @@
 //! the model file, treats the embedded key purely as the *hardware oracle*
 //! (never looking at it except to score fidelity at the end), and runs the
 //! DNN decryption attack or the monolithic baseline.
+//!
+//! `--variant` picks the locking scheme on both sides: `sign` (the paper's
+//! multiplicative ±1 lock, default), `scale:<f>` (keyed scaling), and the
+//! trigger schemes `sar`/`antisat` (SARLock/Anti-SAT analogues, wired for
+//! the mlp and lenet victims). Trigger locks corrupt only a tiny input
+//! subspace, so `attack` dispatches them to the sampling attack — a batch
+//! of random probes plus a greedy bit-flip climb — instead of the per-site
+//! decryption pipeline; see DESIGN.md §3h for why that sampling degrades.
 //!
 //! `attack --workers N` shards the per-site and per-candidate phases
 //! across N local worker *processes* under the supervised coordinator of
@@ -55,7 +65,7 @@ const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:7433";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n                 [--precision <f64|f32>]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--precision <f64|f32>] [--backend <scalar|simd|simd-portable>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n                 [--variant <sign|scale:<f>|sar|antisat>] [--precision <f64|f32>]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n                 [--precision <f64|f32>] [--backend <scalar|simd|simd-portable>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes\n  trigger variants (sar/antisat) run the sampling attack: no --workers/--checkpoint"
     );
     ExitCode::from(2)
 }
@@ -100,6 +110,20 @@ impl Args {
     }
 }
 
+/// Parses `--variant <sign|scale:<factor>|sar|antisat>` (default sign).
+fn variant_flag(args: &Args) -> Result<LockVariant, String> {
+    match args.flag("variant") {
+        None => Ok(LockVariant::Sign),
+        Some(v) => {
+            let name = v
+                .as_deref()
+                .ok_or("--variant expects sign, scale:<factor>, sar or antisat")?;
+            name.parse::<LockVariant>()
+                .map_err(|e| format!("--variant: {e}"))
+        }
+    }
+}
+
 /// Parses `--precision <f64|f32>` (default f64).
 fn precision_flag(args: &Args) -> Result<relock_tensor::Precision, String> {
     match args.flag("precision") {
@@ -128,7 +152,17 @@ fn apply_backend_flag(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel, Dataset), String> {
+fn build_victim(
+    arch: &str,
+    bits: usize,
+    variant: LockVariant,
+    rng: &mut Prng,
+) -> Result<(LockedModel, Dataset), String> {
+    if variant.is_trigger() && !matches!(arch, "mlp" | "lenet") {
+        return Err(format!(
+            "trigger variants (sar/antisat) are wired for mlp and lenet, not '{arch}'"
+        ));
+    }
     let out = match arch {
         "mlp" => {
             let data = mnist_like(rng, 600, 200, 48);
@@ -138,7 +172,7 @@ fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel,
                     hidden: vec![32, 16],
                     classes: 10,
                 },
-                LockSpec::evenly(bits),
+                LockSpec::with_variant(bits, variant),
                 rng,
             )
             .map_err(|e| e.to_string())?;
@@ -157,7 +191,7 @@ fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel,
                     fc2: 16,
                     classes: 10,
                 },
-                LockSpec::evenly(bits),
+                LockSpec::with_variant(bits, variant),
                 rng,
             )
             .map_err(|e| e.to_string())?;
@@ -185,7 +219,7 @@ fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel,
                     ],
                     classes: 10,
                 },
-                LockSpec::evenly(bits),
+                LockSpec::with_variant(bits, variant),
                 rng,
             )
             .map_err(|e| e.to_string())?;
@@ -205,7 +239,7 @@ fn build_victim(arch: &str, bits: usize, rng: &mut Prng) -> Result<(LockedModel,
                     mlp_hidden: 32,
                     classes: 10,
                 },
-                LockSpec::evenly(bits),
+                LockSpec::with_variant(bits, variant),
                 rng,
             )
             .map_err(|e| e.to_string())?;
@@ -221,8 +255,9 @@ fn cmd_lock(args: &Args) -> Result<(), String> {
     let bits = args.u64_value("bits", 16)? as usize;
     let out_path = args.value("out").ok_or("--out is required")?.to_string();
     let seed = args.u64_value("seed", 42)?;
+    let variant = variant_flag(args)?;
     let mut rng = Prng::seed_from_u64(seed);
-    let (mut model, data) = build_victim(&arch, bits, &mut rng)?;
+    let (mut model, data) = build_victim(&arch, bits, variant, &mut rng)?;
     if args.flag("no-train").is_none() {
         let trainer = Trainer {
             precision: precision_flag(args)?,
@@ -352,6 +387,7 @@ fn run_attack(args: &Args) -> Result<(), String> {
     // Only the learning sub-procedure honours the precision; the algebraic
     // core of the decryption attack always runs f64.
     cfg.learning.precision = precision;
+    cfg.variant = variant_flag(args)?;
     let threads = args.u64_value("threads", cfg.threads as u64)? as usize;
     if threads == 0 {
         return Err("--threads expects a count >= 1".into());
@@ -374,6 +410,44 @@ fn run_attack(args: &Args) -> Result<(), String> {
         }
     }
     let every = args.u64_value("checkpoint-every", 0)?;
+
+    // Trigger locks (sar/antisat) defeat the per-site algebraic localisation
+    // the decryption attack is built on, so they dispatch to the sampling
+    // attack: one batch of random oracle probes and a greedy bit-flip climb
+    // on output agreement. It runs as a single in-process segment.
+    if cfg.variant.is_trigger() {
+        if workers > 1 {
+            return Err("--workers is not supported for trigger variants (sar/antisat)".into());
+        }
+        if checkpoint.is_some() {
+            return Err("--checkpoint is not supported for trigger variants (sar/antisat)".into());
+        }
+        let broker = Broker::with_config(
+            &oracle,
+            BrokerConfig {
+                max_queries: cfg.query_budget,
+                ..BrokerConfig::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let report = sampling_key_search(
+            model.white_box(),
+            &broker,
+            &SamplingConfig::from_attack(&cfg),
+            &mut rng,
+        );
+        println!("sampling key search ({} lock):", cfg.variant);
+        println!("  extracted key: {}", report.key);
+        println!(
+            "  fidelity {:.1}%   agreement {:.1}%   queries {}   time {:.2}s",
+            100.0 * report.key.fidelity(model.true_key()),
+            100.0 * report.agreement,
+            report.queries,
+            start.elapsed().as_secs_f64()
+        );
+        print!("{}", broker.stats().snapshot());
+        return Ok(());
+    }
 
     // With `--workers N` (N > 1) the sharded phases run across supervised
     // worker processes: the coordinator re-invokes this binary with the
@@ -567,6 +641,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         threads: args.u64_value("threads", 1)?,
         fast: args.flag("full").is_none(),
         monolithic: args.flag("monolithic").is_some(),
+        variant: variant_flag(args)?.to_string(),
         checkpoint: None,
     })?;
     let id = response.get("id").and_then(Value::as_u64).unwrap_or(0);
