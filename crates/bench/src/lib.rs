@@ -33,6 +33,7 @@ use relock_serve::{Broker, BrokerConfig};
 use relock_tensor::rng::Prng;
 use std::time::Instant;
 
+pub mod analyze;
 pub mod campaign;
 pub mod matrix;
 pub mod report;

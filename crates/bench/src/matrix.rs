@@ -202,6 +202,7 @@ pub fn matrix_entries() -> Vec<BenchEntry> {
             workers: None,
             backend: None,
             lock_variant: Some(c.variant.to_string()),
+            adaptive: None,
         })
         .collect()
 }

@@ -314,6 +314,7 @@ fn dispatch(hub: &Arc<CampaignHub>, shutdown: &AtomicBool, request: Request) -> 
             fast,
             monolithic,
             variant,
+            adaptive,
             checkpoint,
         } => {
             // Reject unknown variants before the model is even opened: a
@@ -342,6 +343,7 @@ fn dispatch(hub: &Arc<CampaignHub>, shutdown: &AtomicBool, request: Request) -> 
                 fast,
                 monolithic,
                 variant,
+                adaptive,
                 ..CampaignConfig::default()
             };
             let id = match checkpoint {

@@ -95,6 +95,7 @@ fn tcp_daemon_runs_a_campaign_end_to_end() {
             fast: true,
             monolithic: false,
             variant: "sign".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .expect("submit");
@@ -179,6 +180,7 @@ fn unix_socket_daemon_speaks_the_same_protocol() {
             fast: true,
             monolithic: false,
             variant: "sign".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .expect("submit over uds");
@@ -256,6 +258,7 @@ fn full_hub_rejects_submissions_with_the_overloaded_code() {
             fast: true,
             monolithic: false,
             variant: "sign".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .unwrap_err();
@@ -285,6 +288,7 @@ fn submit_with_a_bad_model_path_is_a_request_error() {
             fast: true,
             monolithic: false,
             variant: "sign".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .unwrap_err();
@@ -330,6 +334,7 @@ fn trigger_variant_round_trips_and_unknown_variants_are_rejected() {
             fast: true,
             monolithic: false,
             variant: "quantum".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .unwrap_err();
@@ -352,6 +357,7 @@ fn trigger_variant_round_trips_and_unknown_variants_are_rejected() {
             fast: true,
             monolithic: false,
             variant: "sar".into(),
+            adaptive: false,
             checkpoint: None,
         })
         .expect("submit sar campaign");

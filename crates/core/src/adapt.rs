@@ -1,0 +1,255 @@
+//! The online adaptive controller (DESIGN.md §3i).
+//!
+//! With [`AttackConfig::adaptive`] set, the engine tunes two knobs while
+//! the attack runs:
+//!
+//! 1. **Correction wave width.** The static path validates §3.8
+//!    candidates in fixed-width waves, so a flip the confidence ordering
+//!    ranks first still pays for a whole wave of validations. The
+//!    controller ramps the width with the candidate-plan position
+//!    instead: width 1 at the head of the plan (where the confidence
+//!    ordering is most likely to be right), doubling until it reaches the
+//!    configured `correction_wave`. Because forks come off the parent
+//!    PRNG one per candidate in canonical order, each candidate sees the
+//!    identical random stream under any wave partition — the ramp can
+//!    only trim the discarded tail of a wave, never change a verdict, so
+//!    adaptive runs spend *at most* the static path's validations and
+//!    queries.
+//! 2. **Broker dispatch sharding.** At each layer boundary the observed
+//!    batch shape and cache-hit rate (cumulative, count-based, exactly
+//!    reproducible at any thread count) pick the minimum rows per
+//!    dispatch shard. Sharding is result- and accounting-invariant by
+//!    the backend-equivalence contract, so this knob shapes wall clock
+//!    only.
+//!
+//! **The deterministic-input rule:** every decision is a pure function of
+//! deterministic inputs — candidate-plan position, cumulative query
+//! counters, commit/discard tallies. Wall clock, thread ids, and queue
+//! depths are forbidden: any of them would let a scheduler hiccup steer
+//! the PRNG or the traffic, and the bit-identical contract (§3e) across
+//! threads, workers, and backends would fall. Decisions that *do* shape
+//! traffic (the wave width) are furthermore pure functions of
+//! *checkpointed* position, so a resumed run re-derives them identically
+//! without the controller itself ever entering the RLCP frame.
+//!
+//! Every decision is recorded as an `adapt.*` trace counter, so a
+//! `--trace` capture shows exactly what the controller did and the
+//! offline analysis pass can audit its commit efficiency.
+//!
+//! [`AttackConfig::adaptive`]: crate::AttackConfig::adaptive
+
+use relock_serve::QueryStatsSnapshot;
+
+/// Online tuner of correction wave width and broker dispatch sharding.
+/// Constructed per run when [`AttackConfig::adaptive`] is set; never
+/// serialized into checkpoints (see the module docs for why it doesn't
+/// need to be).
+///
+/// [`AttackConfig::adaptive`]: crate::AttackConfig::adaptive
+#[derive(Debug)]
+pub struct AdaptiveController {
+    /// Ceiling of the wave-width ramp: the configured `correction_wave`.
+    max_wave: usize,
+    /// The broker's static shard floor, the ramp's lower clamp.
+    min_shard_rows: usize,
+    /// Waves whose earliest Pass committed a flip.
+    commits: u64,
+    /// Waves fully validated and discarded.
+    discards: u64,
+}
+
+impl AdaptiveController {
+    /// A controller ramping up to `max_wave` candidates per wave and
+    /// never sharding dispatches below `min_shard_rows` rows.
+    pub fn new(max_wave: usize, min_shard_rows: usize) -> Self {
+        AdaptiveController {
+            max_wave: max_wave.max(1),
+            min_shard_rows: min_shard_rows.max(1),
+            commits: 0,
+            discards: 0,
+        }
+    }
+
+    /// Correction wave width at candidate-plan position `ci` — a pure
+    /// function of position: the largest power of two at most
+    /// `max(ci, 1)`, clamped to `[1, max_wave]`. Positions 0 and 1 probe
+    /// one candidate each, then 2, 4, … until the static width takes
+    /// over. Checkpoint cuts land on wave boundaries, and every boundary
+    /// this schedule produces is reachable from position 0, so a resume
+    /// re-derives the identical wave structure from the frame's `tried`
+    /// index alone.
+    pub fn wave_width(&self, ci: usize) -> usize {
+        let base = ci.max(1);
+        let pow2 = 1usize << (usize::BITS - 1 - base.leading_zeros());
+        pow2.min(self.max_wave)
+    }
+
+    /// Records a decided wave width as an `adapt.wave_width` counter and
+    /// returns it — the trace hook [`Decryptor`] calls per wave.
+    ///
+    /// [`Decryptor`]: crate::Decryptor
+    pub fn decide_wave(&self, ci: usize) -> usize {
+        let width = self.wave_width(ci);
+        relock_trace::counter("adapt.wave_width", width as u64);
+        width
+    }
+
+    /// Records a finished wave: `committed` when its earliest Pass
+    /// applied a flip, discarded otherwise. Tallies feed the commit
+    /// efficiency the analysis pass reports and the `adapt.wave_commit`
+    /// / `adapt.wave_discard` trace counters.
+    pub fn record_wave(&mut self, committed: bool) {
+        if committed {
+            self.commits += 1;
+            relock_trace::counter("adapt.wave_commit", 1);
+        } else {
+            self.discards += 1;
+            relock_trace::counter("adapt.wave_discard", 1);
+        }
+    }
+
+    /// Waves committed / discarded so far.
+    pub fn wave_tallies(&self) -> (u64, u64) {
+        (self.commits, self.discards)
+    }
+
+    /// Minimum rows per dispatch shard derived from the cumulative
+    /// session accounting: a quarter of the observed mean batch (so a
+    /// typical miss batch spreads across about four workers), floored at
+    /// the static default — and the static default outright while the
+    /// cache serves most rows, because then underlying batches are far
+    /// smaller than requested ones and splitting them finer only buys
+    /// dispatch overhead. Inputs are counts, never clocks, so the hint
+    /// is reproducible at any thread count; and because sharding cannot
+    /// change results, even a *wrong* hint cannot cost a query.
+    pub fn shard_rows(&self, snap: &QueryStatsSnapshot) -> usize {
+        if snap.batches == 0 || snap.cache_hit_rate() > 0.5 {
+            return self.min_shard_rows;
+        }
+        let quarter = (snap.mean_batch_rows() / 4.0) as usize;
+        quarter.clamp(self.min_shard_rows, 1024)
+    }
+
+    /// Records a decided shard hint as an `adapt.shard_rows` counter and
+    /// returns it.
+    pub fn decide_shard_rows(&self, snap: &QueryStatsSnapshot) -> usize {
+        let rows = self.shard_rows(snap);
+        relock_trace::counter("adapt.shard_rows", rows as u64);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_width_ramps_by_position_and_clamps_at_the_config() {
+        let a = AdaptiveController::new(4, 8);
+        let widths: Vec<usize> = [0usize, 1, 2, 3, 4, 7, 8, 100]
+            .iter()
+            .map(|&ci| a.wave_width(ci))
+            .collect();
+        assert_eq!(widths, vec![1, 1, 2, 2, 4, 4, 4, 4]);
+        // Degenerate config still yields a legal width.
+        assert_eq!(AdaptiveController::new(0, 8).wave_width(50), 1);
+    }
+
+    /// The wave boundaries the ramp visits from position 0. A checkpoint
+    /// can only cut at one of these, and restarting the schedule from any
+    /// of them regenerates the same continuation — the resume-safety
+    /// property `adaptive_equiv` exercises end to end.
+    fn boundaries(a: &AdaptiveController, plan_len: usize) -> Vec<usize> {
+        let mut out = vec![];
+        let mut ci = 0usize;
+        while ci < plan_len {
+            out.push(ci);
+            ci += a.wave_width(ci).min(plan_len - ci);
+        }
+        out
+    }
+
+    #[test]
+    fn boundary_walk_is_a_pure_function_of_position() {
+        let a = AdaptiveController::new(4, 8);
+        assert_eq!(boundaries(&a, 14), vec![0, 1, 2, 4, 8, 12]);
+        // Restarting from any boundary continues the identical walk.
+        for (i, &b) in boundaries(&a, 14).iter().enumerate() {
+            let mut ci = b;
+            let mut tail = vec![];
+            while ci < 14 {
+                tail.push(ci);
+                ci += a.wave_width(ci).min(14 - ci);
+            }
+            assert_eq!(tail, boundaries(&a, 14)[i..].to_vec());
+        }
+    }
+
+    #[test]
+    fn adaptive_validations_never_exceed_the_static_waves() {
+        // For a first Pass at any plan position p, each path validates
+        // through the end of the wave containing p; the ramp's denser
+        // boundaries round up less.
+        for max_wave in [1usize, 2, 4, 8] {
+            let a = AdaptiveController::new(max_wave, 8);
+            for plan_len in [1usize, 5, 13, 40] {
+                for p in 0..plan_len {
+                    let adaptive_end = boundaries(&a, plan_len)
+                        .iter()
+                        .map(|&b| (b + a.wave_width(b)).min(plan_len))
+                        .find(|&end| p < end)
+                        .unwrap();
+                    let static_end = ((p / max_wave + 1) * max_wave).min(plan_len);
+                    assert!(
+                        adaptive_end <= static_end,
+                        "max_wave {max_wave} plan {plan_len} pass at {p}: adaptive {adaptive_end} > static {static_end}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_hint_is_count_driven_and_clamped() {
+        let a = AdaptiveController::new(4, 8);
+        let mut snap = QueryStatsSnapshot {
+            requested: 4000,
+            cache_hits: 0,
+            underlying: 4000,
+            batches: 10,
+            ..QueryStatsSnapshot::default()
+        };
+        // Mean batch 400 rows → shards of 100.
+        assert_eq!(a.shard_rows(&snap), 100);
+        // Idle books → the static floor.
+        assert_eq!(a.shard_rows(&QueryStatsSnapshot::default()), 8);
+        // A cache-dominated run keeps the floor too.
+        snap.cache_hits = 3000;
+        snap.underlying = 1000;
+        assert_eq!(a.shard_rows(&snap), 8);
+        // Tiny batches clamp up, huge ones clamp down.
+        let tiny = QueryStatsSnapshot {
+            requested: 10,
+            underlying: 10,
+            batches: 10,
+            ..QueryStatsSnapshot::default()
+        };
+        assert_eq!(a.shard_rows(&tiny), 8);
+        let huge = QueryStatsSnapshot {
+            requested: 1_000_000,
+            underlying: 1_000_000,
+            batches: 10,
+            ..QueryStatsSnapshot::default()
+        };
+        assert_eq!(a.shard_rows(&huge), 1024);
+    }
+
+    #[test]
+    fn wave_tallies_accumulate() {
+        let mut a = AdaptiveController::new(4, 8);
+        a.record_wave(false);
+        a.record_wave(false);
+        a.record_wave(true);
+        assert_eq!(a.wave_tallies(), (1, 2));
+    }
+}

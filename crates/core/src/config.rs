@@ -165,6 +165,16 @@ pub struct AttackConfig {
     /// [`Decryptor`]: crate::Decryptor
     /// [`sampling_key_search`]: crate::sampling_key_search
     pub variant: LockVariant,
+    /// Enable the online [`AdaptiveController`]: correction wave width
+    /// ramps with candidate-plan position and broker dispatch sharding
+    /// retunes from cumulative batch statistics. Decisions derive only
+    /// from deterministic inputs (never wall clock — DESIGN.md §3i), so
+    /// adaptive runs stay bit-identical at any thread/worker/backend
+    /// count; with the flag off (the default) the engine is
+    /// byte-equivalent to the static path.
+    ///
+    /// [`AdaptiveController`]: crate::AdaptiveController
+    pub adaptive: bool,
 }
 
 impl Default for AttackConfig {
@@ -201,6 +211,7 @@ impl Default for AttackConfig {
             preimage_perturbation: 0.0,
             query_budget: None,
             variant: LockVariant::Sign,
+            adaptive: false,
         }
     }
 }

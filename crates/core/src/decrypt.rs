@@ -14,6 +14,7 @@
 //! Theorem 4's argument carries over: each correction round eliminates one
 //! assignment, and a committed layer has passed the rigorous validation.
 
+use crate::adapt::AdaptiveController;
 use crate::checkpoint::{
     AttackState, CheckpointError, CheckpointPolicy, CheckpointSink, LayerReportState, PhaseCut,
     ResumeStatus, SerialTarget,
@@ -578,6 +579,16 @@ impl Decryptor {
         executor: Option<&dyn PhaseExecutor>,
     ) -> Result<SessionOutcome, AttackError> {
         let cfg = &self.cfg;
+        // The online tuner (DESIGN.md §3i). `None` on the default static
+        // path, which must stay byte-equivalent: with the controller off,
+        // no `adapt.*` counters fire, no shard hint is set, and the wave
+        // width is the unchanged static expression.
+        let mut adapt = cfg.adaptive.then(|| {
+            AdaptiveController::new(
+                cfg.correction_wave,
+                BrokerConfig::default().min_rows_per_shard,
+            )
+        });
         let oracle: &dyn Oracle = broker;
         if oracle.input_dim() != white_box.input_size() {
             return Err(AttackError::OracleMismatch {
@@ -703,6 +714,15 @@ impl Decryptor {
 
         for li in start_layer..layers.len() {
             let _layer_span = relock_trace::span("attack.layer", li as u64);
+            if let Some(a) = adapt.as_ref() {
+                // Retune dispatch sharding from the cumulative session
+                // accounting (counts only, never clocks). Sharding is
+                // result- and accounting-invariant, so this knob cannot
+                // perturb the bit-identical contract.
+                let mut snap = baseline_stats.clone();
+                snap.merge(&broker.snapshot());
+                broker.set_shard_rows(a.decide_shard_rows(&snap));
+            }
             let (keyed_node, layer_sites) = &layers[li];
             let mut report = LayerReport {
                 keyed_node: *keyed_node,
@@ -1026,11 +1046,18 @@ impl Decryptor {
                 // so PRNG consumption, query traffic, and the committed
                 // flip are bit-identical at every thread count; checkpoint
                 // cuts land only on wave boundaries for the same reason.
-                let wave_width = cfg.correction_wave.max(1);
                 let mut applied: Option<Vec<usize>> = None;
                 let mut ci = correction_from;
                 while ci < candidates.len() && applied.is_none() && !starved {
                     let _wave_span = relock_trace::span("attack.wave", ci as u64);
+                    // Wave width: the adaptive ramp is a pure function of
+                    // the (checkpointed) plan position `ci`, so a resumed
+                    // run re-derives the identical wave structure; the
+                    // static arm is the unchanged historical expression.
+                    let wave_width = match adapt.as_ref() {
+                        Some(a) => a.decide_wave(ci),
+                        None => cfg.correction_wave.max(1),
+                    };
                     if let Some(w) = writer.as_mut() {
                         // `ci > correction_from` guarantees liveness: a
                         // segment must validate at least one wave before it
@@ -1099,6 +1126,9 @@ impl Decryptor {
                             }
                             Ok(_) => {}
                         }
+                    }
+                    if let Some(a) = adapt.as_mut() {
+                        a.record_wave(applied.is_some());
                     }
                     ci += wave.len();
                 }
@@ -1281,7 +1311,15 @@ fn run_sharded<T: Send>(
             })
             .collect();
         for h in handles {
-            for (i, v) in h.join().expect("recovery worker panicked") {
+            // A worker panic must surface with its *original* payload:
+            // kill-and-resume harnesses downcast to the injected crash
+            // type, and `expect()` here would replace it with a String.
+            // The scope joins the remaining workers before propagating.
+            let items = match h.join() {
+                Ok(items) => items,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, v) in items {
                 slots[i] = Some(v);
             }
         }

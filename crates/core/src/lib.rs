@@ -53,6 +53,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod adapt;
 pub mod checkpoint;
 mod config;
 mod correct;
@@ -71,6 +72,7 @@ pub mod testutil;
 mod validate;
 mod weightlock;
 
+pub use adapt::AdaptiveController;
 pub use checkpoint::{
     AttackState, CheckpointError, CheckpointPolicy, CheckpointSink, FileCheckpointSink,
     LayerReportState, MemoryCheckpointSink, PhaseCut, ResumeStatus, SerialTarget, CHECKPOINT_MAGIC,

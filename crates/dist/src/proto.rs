@@ -230,6 +230,7 @@ pub fn encode_config(cfg: &AttackConfig) -> Value {
                 _ => Value::Null,
             },
         ),
+        ("adaptive".into(), Value::Bool(cfg.adaptive)),
     ])
 }
 
@@ -285,6 +286,12 @@ pub fn decode_config(doc: &Value) -> Result<AttackConfig, ProtoError> {
             "antisat" => LockVariant::AntiSatTrigger,
             other => return Err(malformed(format!("unknown lock variant {other:?}"))),
         },
+        // Absent on frames from older coordinators: default to the static
+        // path rather than rejecting the whole config.
+        adaptive: doc
+            .get("adaptive")
+            .and_then(Value::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -507,6 +514,7 @@ mod tests {
         cfg.query_budget = Some(123_456);
         cfg.threads = 3;
         cfg.diff_tol = 5.4321e-5;
+        cfg.adaptive = true;
         let doc = encode_config(&cfg);
         let back = decode_config(&doc).unwrap();
         assert_eq!(back.diff_tol.to_bits(), cfg.diff_tol.to_bits());
@@ -514,6 +522,7 @@ mod tests {
         assert_eq!(back.query_budget, cfg.query_budget);
         assert_eq!(back.threads, 3);
         assert_eq!(back.correction_wave, cfg.correction_wave);
+        assert!(back.adaptive);
         // And through an actual frame serialization.
         let text = doc.to_compact();
         let reparsed = Value::parse(&text).unwrap();

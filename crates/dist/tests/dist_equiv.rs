@@ -95,6 +95,39 @@ fn lenet_worker_sweep_is_byte_identical_to_sequential() {
     assert_dist_matches_sequential(&lenet_victim(), &[512], "lenet");
 }
 
+/// The adaptive controller (DESIGN.md §3i) derives every decision from
+/// checkpointed counters, so routing the sharded phases across worker
+/// *processes* must not perturb it: 1 and 4 workers reproduce the
+/// adaptive in-process sequential run byte-for-byte, through the
+/// correction-heavy learning path where the controller actually ramps
+/// wave widths.
+#[test]
+fn adaptive_worker_sweep_is_byte_identical_to_sequential() {
+    let model = mlp16_victim();
+    let cfg = AttackConfig {
+        disable_algebraic: true,
+        adaptive: true,
+        ..AttackConfig::fast()
+    };
+    let file = ModelFile::save(&model);
+    for seed in [700u64, 732] {
+        let reference = sequential_run(&model, &cfg, seed);
+        assert_eq!(
+            reference.report.fidelity(model.true_key()),
+            1.0,
+            "adaptive seed {seed}: sequential reference must recover the key exactly"
+        );
+        for workers in [1usize, 4] {
+            let mut opts = DistOptions::new(worker_bin());
+            opts.workers = workers;
+            let (t, dist) = dist_run(&model, &file, &cfg, seed, opts);
+            let ctx = format!("adaptive seed {seed} workers {workers}");
+            assert_traces_match(&t, &reference, &ctx);
+            assert_eq!(dist.fell_back, None, "{ctx}: no fallback expected");
+        }
+    }
+}
+
 /// Trigger-locked victims have no per-unit lock sites, so the coordinator
 /// has nothing to route — but a distributed run must still complete and
 /// reproduce the in-process trace byte-for-byte rather than wedge or

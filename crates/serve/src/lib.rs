@@ -61,4 +61,6 @@ pub use budget::QueryBudget;
 pub use cache::SharedCache;
 pub use chaos::{ChaosConfig, ChaosCounters, ChaosCrash, ChaosOracle, Corruption};
 pub use retry::{RetryOracle, RetryPolicy};
-pub use stats::{QueryStats, QueryStatsSnapshot, ScopeCounts, HISTOGRAM_BUCKETS};
+pub use stats::{
+    bucket_label, bucket_of, QueryStats, QueryStatsSnapshot, ScopeCounts, HISTOGRAM_BUCKETS,
+};

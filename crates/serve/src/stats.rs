@@ -2,6 +2,7 @@
 //! and oracle latency — the observability layer printed next to Table 1's
 //! query-complexity column.
 
+use relock_trace::json::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,8 +12,10 @@ use std::time::Duration;
 /// Batch-size histogram buckets: `1, 2–3, 4–7, …, ≥128` (powers of two).
 pub const HISTOGRAM_BUCKETS: usize = 8;
 
-/// Returns the histogram bucket of a batch of `rows` rows.
-fn bucket_of(rows: u64) -> usize {
+/// Returns the histogram bucket of a batch of `rows` rows. Public so the
+/// offline trace analyzer can bucket `broker.batch` span args with the
+/// exact same edges the live histogram uses.
+pub fn bucket_of(rows: u64) -> usize {
     let mut b = 0usize;
     let mut edge = 1u64; // upper edge of bucket b: 1, 3, 7, 15, …
     while b + 1 < HISTOGRAM_BUCKETS && rows > edge {
@@ -24,7 +27,7 @@ fn bucket_of(rows: u64) -> usize {
 
 /// Human-readable label of a histogram bucket (bucket `b` covers
 /// `2^b ..= 2^(b+1)-1` rows; the last bucket is open-ended).
-fn bucket_label(b: usize) -> String {
+pub fn bucket_label(b: usize) -> String {
     if b == 0 {
         "1".to_string()
     } else if b + 1 == HISTOGRAM_BUCKETS {
@@ -262,6 +265,113 @@ impl QueryStatsSnapshot {
         self.cache_rows = self.cache_rows.max(other.cache_rows);
         self.cache_bytes = self.cache_bytes.max(other.cache_bytes);
     }
+
+    /// Encodes the snapshot as a JSON object — the `--stats-json` sidecar
+    /// an offline trace analysis reconciles a capture against. Oracle time
+    /// is carried as integer nanoseconds so the round trip is exact.
+    pub fn to_json_value(&self) -> Value {
+        let per_scope = self
+            .per_scope
+            .iter()
+            .map(|(label, c)| {
+                Value::Obj(vec![
+                    ("scope".to_string(), Value::str(label)),
+                    ("requested".to_string(), Value::num_u64(c.requested)),
+                    ("cache_hits".to_string(), Value::num_u64(c.cache_hits)),
+                    ("underlying".to_string(), Value::num_u64(c.underlying)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("requested".to_string(), Value::num_u64(self.requested)),
+            ("cache_hits".to_string(), Value::num_u64(self.cache_hits)),
+            ("underlying".to_string(), Value::num_u64(self.underlying)),
+            ("batches".to_string(), Value::num_u64(self.batches)),
+            ("retries".to_string(), Value::num_u64(self.retries)),
+            (
+                "injected_faults".to_string(),
+                Value::num_u64(self.injected_faults),
+            ),
+            (
+                "oracle_nanos".to_string(),
+                Value::num_u64(self.oracle_time.as_nanos() as u64),
+            ),
+            (
+                "histogram".to_string(),
+                Value::Arr(self.histogram.iter().map(|&n| Value::num_u64(n)).collect()),
+            ),
+            ("per_scope".to_string(), Value::Arr(per_scope)),
+            (
+                "cache_evictions".to_string(),
+                Value::num_u64(self.cache_evictions),
+            ),
+            ("cache_rows".to_string(), Value::num_u64(self.cache_rows)),
+            ("cache_bytes".to_string(), Value::num_u64(self.cache_bytes)),
+        ])
+    }
+
+    /// Decodes [`QueryStatsSnapshot::to_json_value`] output.
+    pub fn from_json_value(doc: &Value) -> Result<QueryStatsSnapshot, String> {
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let hist = doc
+            .get("histogram")
+            .and_then(Value::as_arr)
+            .ok_or("missing 'histogram' array")?;
+        if hist.len() != HISTOGRAM_BUCKETS {
+            return Err(format!(
+                "histogram has {} buckets, expected {HISTOGRAM_BUCKETS}",
+                hist.len()
+            ));
+        }
+        let mut histogram = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, v) in histogram.iter_mut().zip(hist) {
+            *slot = v.as_u64().ok_or("non-integer histogram bucket")?;
+        }
+        let mut per_scope = Vec::new();
+        for entry in doc
+            .get("per_scope")
+            .and_then(Value::as_arr)
+            .ok_or("missing 'per_scope' array")?
+        {
+            let scope = entry
+                .get("scope")
+                .and_then(Value::as_str)
+                .ok_or("missing or non-string scope label")?
+                .to_string();
+            let sub = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("scope '{scope}': missing field '{key}'"))
+            };
+            per_scope.push((
+                scope.clone(),
+                ScopeCounts {
+                    requested: sub("requested")?,
+                    cache_hits: sub("cache_hits")?,
+                    underlying: sub("underlying")?,
+                },
+            ));
+        }
+        Ok(QueryStatsSnapshot {
+            requested: field("requested")?,
+            cache_hits: field("cache_hits")?,
+            underlying: field("underlying")?,
+            batches: field("batches")?,
+            retries: field("retries")?,
+            injected_faults: field("injected_faults")?,
+            oracle_time: Duration::from_nanos(field("oracle_nanos")?),
+            histogram,
+            per_scope,
+            cache_evictions: field("cache_evictions")?,
+            cache_rows: field("cache_rows")?,
+            cache_bytes: field("cache_bytes")?,
+        })
+    }
 }
 
 impl fmt::Display for QueryStatsSnapshot {
@@ -408,5 +518,39 @@ mod tests {
         let mut sorted = labels.clone();
         sorted.sort_unstable();
         assert_eq!(labels, sorted);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let stats = QueryStats::new();
+        stats.set_scope(Some("learning_attack"));
+        stats.record_batch(100, 10, 90, Duration::from_nanos(12_345_678));
+        stats.set_scope(Some("key_vector_validation"));
+        stats.record_batch(4, 3, 1, Duration::from_millis(1));
+        stats.record_retries(2);
+        stats.record_injected_faults(1);
+        let mut snap = stats.snapshot();
+        snap.cache_evictions = 7;
+        snap.cache_rows = 11;
+        snap.cache_bytes = 4096;
+        let doc = snap.to_json_value();
+        let back = QueryStatsSnapshot::from_json_value(&doc).unwrap();
+        assert_eq!(back, snap);
+        // Text round trip too — the sidecar crosses a file.
+        let reparsed = Value::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(
+            QueryStatsSnapshot::from_json_value(&reparsed).unwrap(),
+            snap
+        );
+    }
+
+    #[test]
+    fn json_decode_rejects_malformed_documents() {
+        assert!(QueryStatsSnapshot::from_json_value(&Value::Obj(vec![])).is_err());
+        let mut doc = QueryStatsSnapshot::default().to_json_value();
+        if let Value::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "histogram");
+        }
+        assert!(QueryStatsSnapshot::from_json_value(&doc).is_err());
     }
 }

@@ -15,7 +15,8 @@
 //! [`install`] a [`Recorder`] (typically a [`FlightRecorder`]), run the
 //! workload, [`uninstall`] and drain. Events carry `&'static str` labels
 //! from a fixed catalogue (see DESIGN.md §3f) and encode to JSONL via
-//! [`Event::to_jsonl`].
+//! [`Event::to_jsonl`]; a captured file parses back into typed events,
+//! paired spans, and per-`(label, scope)` counter books via [`Trace`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -35,9 +36,11 @@ pub mod json;
 
 mod event;
 mod flight;
+mod reader;
 
 pub use event::{Event, Label};
 pub use flight::FlightRecorder;
+pub use reader::{SpanRecord, Trace, TraceReadError};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

@@ -3,22 +3,40 @@
 #
 # The workspace has no registry dependencies, so every step below works
 # fully offline.
+#
+# Each step is tagged `# ci-job: <job-id>` with the ci.yml job that runs
+# the same ground in CI; scripts/verify_parity.sh asserts the two sets
+# stay in lockstep (every job mirrored here, every tag a real job).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ci-job: check
 echo "==> cargo build --release"
 cargo build --release
 
+# ci-job: check
 echo "==> cargo test -q"
 cargo test --workspace -q
+
+# Tidiness: scratch dirs must not creep back into the tree.
+# ci-job: check
+echo "==> tidiness (no stray scratch dirs)"
+test ! -e examples_tmp
+
+# CI ↔ local parity: every ci.yml job mirrored by a tagged step here.
+# ci-job: check
+echo "==> verify-parity (CI jobs <-> verify.sh steps)"
+scripts/verify_parity.sh
 
 # Thread matrix: AttackConfig::default() honours RELOCK_THREADS, so the
 # same suites re-run with the sharded engine at 4 workers — bit-identical
 # by contract — both under the harness's own test parallelism and
 # serially (the serial pass isolates any cross-test interference).
+# ci-job: test-matrix
 echo "==> cargo test -q (RELOCK_THREADS=4)"
 RELOCK_THREADS=4 cargo test --workspace -q
 
+# ci-job: test-matrix
 echo "==> cargo test -q (RELOCK_THREADS=4, --test-threads=1)"
 RELOCK_THREADS=4 cargo test --workspace -q -- --test-threads=1
 
@@ -26,15 +44,18 @@ RELOCK_THREADS=4 cargo test --workspace -q -- --test-threads=1
 # SIMD, or the portable fallback via RELOCK_BACKEND, and every backend is
 # bit-identical by contract — the tensor kernel suite and the end-to-end
 # attack equivalence suite must pass under each forced backend.
+# ci-job: backend-matrix
 for backend in scalar simd simd-portable; do
   echo "==> backend matrix (RELOCK_BACKEND=$backend)"
   RELOCK_BACKEND=$backend cargo test -q -p relock-tensor
   RELOCK_BACKEND=$backend cargo test -q -p relock-attack --test backend_equivalence
 done
 
+# ci-job: test-matrix
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+# ci-job: test-matrix
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -42,6 +63,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # via scheduled chaos panics and requires a bit-identical key on resume.
 # (The chaos_soak/checkpoint_props test suites already ran above as part
 # of the workspace tests; this exercises the release-built bench path.)
+# ci-job: chaos-soak
 echo "==> chaos soak (kill-and-resume bench)"
 cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
 
@@ -50,6 +72,7 @@ cargo run -p relock-bench --release --bin soak -- mlp 12 42 43 3
 # two tenants, latency chaos on every oracle, and one pause →
 # daemon-restart → resume migration mid-flight. Every recovered key must
 # be bit-identical to its one-shot sequential reference.
+# ci-job: campaign-soak
 echo "==> campaign soak (multi-tenant daemon bench)"
 cargo run -p relock-bench --release --bin campaign_soak -- 8 4 256
 
@@ -58,6 +81,7 @@ cargo run -p relock-bench --release --bin campaign_soak -- 8 4 256
 # heartbeat, a truncated frame — must recover a key and query count
 # bit-identical to the in-process reference, without tripping the
 # circuit breaker.
+# ci-job: dist-soak
 echo "==> dist soak (multi-process attack bench)"
 cargo run -p relock-bench --release --bin dist_soak -- 4 16 42 43
 
@@ -66,15 +90,35 @@ cargo run -p relock-bench --release --bin dist_soak -- 4 16 42 43
 # seed replay, trigger property sweep) plus the measured 4×3 grid. The
 # grid's key_acc medians and query counts are diffed exactly by the
 # report step below.
+# ci-job: variant-matrix
 echo "==> variant matrix (locks × attacks conformance)"
 cargo test -q -p relock-attack --test variant_matrix
 RELOCK_THREADS=4 cargo test -q -p relock-attack --test variant_matrix
 cargo test -q -p relock-locking --test trigger_props
 cargo run -p relock-bench --release --bin matrix
 
+# Trace-driven analysis gate: capture a seeded adaptive attack with the
+# flight recorder, mine the capture with `report --analyze`, and demand
+# the trace-side books reconcile *exactly* against the broker's own
+# QueryStatsSnapshot — any accounting or schema drift fails.
+# ci-job: adaptive-analyze
+echo "==> adaptive analyze (flight-recorder accounting gate)"
+analyze_dir=$(mktemp -d /tmp/relock-analyze.XXXXXX)
+trap 'rm -rf "$analyze_dir"' EXIT
+./target/release/relock lock --arch mlp --bits 16 \
+  --out "$analyze_dir/victim.rlk" --seed 42 --no-train
+./target/release/relock attack "$analyze_dir/victim.rlk" --fast --seed 43 \
+  --adaptive --trace "$analyze_dir/trace.jsonl" \
+  --stats-json "$analyze_dir/stats.json"
+cargo run -p relock-bench --release --bin report -q -- \
+  --analyze "$analyze_dir/trace.jsonl" \
+  --stats "$analyze_dir/stats.json" \
+  --out "$analyze_dir/ANALYZE.json"
+
 # Unified bench report + benchdiff: fails on any query-count drift vs
 # the committed baseline (deterministic); local timing only warns, like
 # CI — gate on queries, not on this machine's clock.
+# ci-job: perf-report
 echo "==> bench report + benchdiff"
 cargo run -p relock-bench --release --bin report -q -- \
   --out /tmp/relock-BENCH.json --repeats 1 \

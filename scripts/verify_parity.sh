@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI ↔ verify.sh parity gate.
+#
+# Every job in .github/workflows/ci.yml must have at least one step in
+# scripts/verify.sh tagged `# ci-job: <job-id>`, and every tag must name
+# a real CI job. This keeps the local gate and the CI matrix covering
+# the same ground: a job added to CI without a local twin (or a local
+# step whose CI job was renamed away) fails the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workflow=.github/workflows/ci.yml
+gate=scripts/verify.sh
+
+# Top-level keys under `jobs:` sit at two-space indent; everything
+# deeper (steps, matrix axes) is indented further.
+ci_jobs=$(awk '
+  /^jobs:/ { in_jobs = 1; next }
+  in_jobs && /^[a-zA-Z]/ { in_jobs = 0 }
+  in_jobs && /^  [a-zA-Z0-9_-]+:[[:space:]]*$/ {
+    gsub(/^[[:space:]]+|:[[:space:]]*$/, ""); print
+  }
+' "$workflow" | sort -u)
+
+verify_tags=$(grep -oE '# ci-job: [a-zA-Z0-9_-]+' "$gate" | sed 's/# ci-job: //' | sort -u)
+
+[ -n "$ci_jobs" ] || { echo "FAIL: no jobs parsed from $workflow" >&2; exit 1; }
+[ -n "$verify_tags" ] || { echo "FAIL: no '# ci-job:' tags found in $gate" >&2; exit 1; }
+
+status=0
+for job in $ci_jobs; do
+  if ! grep -qx "$job" <<<"$verify_tags"; then
+    echo "FAIL: CI job '$job' has no '# ci-job: $job' step in $gate" >&2
+    status=1
+  fi
+done
+for tag in $verify_tags; do
+  if ! grep -qx "$tag" <<<"$ci_jobs"; then
+    echo "FAIL: $gate tags '# ci-job: $tag' but $workflow has no such job" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "verify-parity OK: $(wc -w <<<"$ci_jobs") CI jobs all mirrored in $gate"
+fi
+exit "$status"

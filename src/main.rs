@@ -5,14 +5,15 @@
 //!                [--variant sign|scale:<f>|sar|antisat] [--precision f64|f32]
 //! relock inspect victim.rlk
 //! relock attack  victim.rlk [--monolithic] [--seed N] [--fast] [--budget N]
-//!                [--threads N] [--workers N] [--trace events.jsonl]
+//!                [--threads N] [--workers N] [--adaptive]
+//!                [--trace events.jsonl] [--stats-json stats.json]
 //!                [--variant sign|scale:<f>|sar|antisat]
 //!                [--precision f64|f32] [--backend scalar|simd|simd-portable]
 //!                [--checkpoint state.rlcp [--checkpoint-every N] [--resume]]
 //! relock serve   [--listen tcp:127.0.0.1:7433] [--workers N] [--cache-mb N]
 //!                [--max-campaigns N]
 //! relock submit  victim.rlk [--listen A] [--tenant T] [--seed N] [--weight N]
-//!                [--budget N] [--threads N] [--full] [--monolithic]
+//!                [--budget N] [--threads N] [--full] [--monolithic] [--adaptive]
 //!                [--variant sign|scale:<f>|sar|antisat]
 //! relock status  [id] [--listen A]
 //! relock pause   <id> [--listen A]     relock resume <id> [--listen A]
@@ -65,7 +66,7 @@ const DEFAULT_LISTEN: &str = "tcp:127.0.0.1:7433";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n                 [--variant <sign|scale:<f>|sar|antisat>] [--precision <f64|f32>]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--trace <file>]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n                 [--precision <f64|f32>] [--backend <scalar|simd|simd-portable>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes\n  trigger variants (sar/antisat) run the sampling attack: no --workers/--checkpoint"
+        "usage:\n  relock lock    --arch <mlp|lenet|resnet|vit> --bits <n> --out <file> [--seed <n>] [--no-train]\n                 [--variant <sign|scale:<f>|sar|antisat>] [--precision <f64|f32>]\n  relock inspect <file>\n  relock attack  <file> [--monolithic] [--seed <n>] [--fast] [--budget <n>] [--threads <n>]\n                 [--workers <n>] [--adaptive] [--trace <file>] [--stats-json <file>]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n                 [--precision <f64|f32>] [--backend <scalar|simd|simd-portable>]\n                 [--checkpoint <file> [--checkpoint-every <rows>] [--resume]]\n  relock serve   [--listen <addr>] [--workers <n>] [--cache-mb <n>] [--max-campaigns <n>]\n  relock submit  <file> [--listen <addr>] [--tenant <name>] [--seed <n>] [--weight <n>]\n                 [--budget <n>] [--threads <n>] [--full] [--monolithic] [--adaptive]\n                 [--variant <sign|scale:<f>|sar|antisat>]\n  relock status  [id] [--listen <addr>]\n  relock pause   <id> [--listen <addr>]\n  relock resume  <id> [--listen <addr>]\n  relock cancel  <id> [--listen <addr>]\n  relock shutdown [--listen <addr>]\n\n  <addr> is tcp:HOST:PORT or a unix socket path (default {DEFAULT_LISTEN})\n  attack --workers <n> runs the sharded phases across <n> supervised worker processes\n  attack --adaptive tunes wave width and dispatch sharding online (bit-identical; DESIGN.md \u{a7}3i)\n  attack --stats-json <file> writes the final QueryStatsSnapshot for `report --analyze`\n  trigger variants (sar/antisat) run the sampling attack: no --workers/--checkpoint"
     );
     ExitCode::from(2)
 }
@@ -344,6 +345,18 @@ fn cmd_attack(args: &Args) -> Result<(), String> {
     result
 }
 
+/// `--stats-json <file>`: persists the run's final [`QueryStatsSnapshot`]
+/// as pretty JSON, the accounting sidecar `report --analyze` reconciles a
+/// `--trace` capture against.
+///
+/// [`QueryStatsSnapshot`]: relock_attack::QueryStatsSnapshot
+fn write_stats_json(path: &str, snap: &relock_attack::QueryStatsSnapshot) -> Result<(), String> {
+    let text = snap.to_json_value().to_pretty() + "\n";
+    std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote query accounting to {path}");
+    Ok(())
+}
+
 fn run_attack(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("attack needs a model file")?;
     let seed = args.u64_value("seed", 7)?;
@@ -351,6 +364,11 @@ fn run_attack(args: &Args) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers expects a count >= 1".into());
     }
+    let stats_json = match args.flag("stats-json") {
+        None => None,
+        Some(Some(p)) => Some(p.clone()),
+        Some(None) => return Err("--stats-json expects a file path".into()),
+    };
     let model = load_model(path)?;
     let oracle = CountingOracle::new(&model);
     let mut rng = Prng::seed_from_u64(seed);
@@ -376,6 +394,9 @@ fn run_attack(args: &Args) -> Result<(), String> {
             report.queries,
             report.elapsed.as_secs_f64()
         );
+        if let Some(p) = &stats_json {
+            write_stats_json(p, &report.stats)?;
+        }
         return Ok(());
     }
     let mut cfg = if args.flag("fast").is_some() {
@@ -388,6 +409,7 @@ fn run_attack(args: &Args) -> Result<(), String> {
     // core of the decryption attack always runs f64.
     cfg.learning.precision = precision;
     cfg.variant = variant_flag(args)?;
+    cfg.adaptive = args.flag("adaptive").is_some();
     let threads = args.u64_value("threads", cfg.threads as u64)? as usize;
     if threads == 0 {
         return Err("--threads expects a count >= 1".into());
@@ -446,6 +468,9 @@ fn run_attack(args: &Args) -> Result<(), String> {
             start.elapsed().as_secs_f64()
         );
         print!("{}", broker.stats().snapshot());
+        if let Some(p) = &stats_json {
+            write_stats_json(p, &broker.stats().snapshot())?;
+        }
         return Ok(());
     }
 
@@ -554,6 +579,9 @@ fn run_attack(args: &Args) -> Result<(), String> {
         );
     }
     print!("{}", report.stats);
+    if let Some(p) = &stats_json {
+        write_stats_json(p, &report.stats)?;
+    }
     Ok(())
 }
 
@@ -642,6 +670,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         fast: args.flag("full").is_none(),
         monolithic: args.flag("monolithic").is_some(),
         variant: variant_flag(args)?.to_string(),
+        adaptive: args.flag("adaptive").is_some(),
         checkpoint: None,
     })?;
     let id = response.get("id").and_then(Value::as_u64).unwrap_or(0);
